@@ -1,0 +1,100 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Sensitivity of the headline results to the structural parameters the
+paper fixes in Table 2: LSQ depth (Figure 2's disambiguation window),
+predictor capacity (Figure 6's misprediction supply), the L1 latency
+penalty the slice-by-4 machine pays (§7.1), and the replay penalty
+charged on mis-speculated schedules.
+"""
+
+import dataclasses
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.characterization import characterize_branches, characterize_lsq
+from repro.core.config import bitslice_config
+from repro.experiments.runner import collect_trace
+from repro.timing.simulator import simulate
+
+
+def test_lsq_depth_sensitivity(benchmark):
+    """A deeper LSQ sees more prior stores, so partial disambiguation
+    has more work to do — yet the 9-bit knee must persist (Figure 2 is
+    robust to the queue depth)."""
+    trace = collect_trace("bzip", 2 * BENCH_INSTRUCTIONS)
+
+    def run():
+        return {
+            size: characterize_lsq(trace, lsq_size=size, bits=(2, 9, 15))
+            for size in (8, 32, 128)
+        }
+
+    results = once(benchmark, run)
+    print()
+    for size, char in results.items():
+        print(
+            f"  LSQ {size:>3}: decisive @bit2 {char.resolved_fraction(2):6.1%}  "
+            f"@bit9 {char.resolved_fraction(9):6.1%}  @bit15 {char.resolved_fraction(15):6.1%}"
+        )
+    for char in results.values():
+        assert char.resolved_fraction(15) > 0.9
+    # More stores in the window ⇒ (weakly) harder low-bit disambiguation.
+    assert results[128].resolved_fraction(2) <= results[8].resolved_fraction(2) + 1e-9
+
+
+def test_gshare_capacity_sensitivity(benchmark):
+    """Figure 6 used a "very large" 64k gshare deliberately: a small
+    predictor floods the study with easy conflict mispredictions."""
+    trace = collect_trace("go", 2 * BENCH_INSTRUCTIONS)
+
+    def run():
+        return {
+            entries: characterize_branches(trace, gshare_entries=entries, warmup=BENCH_WARMUP)
+            for entries in (256, 4096, 64 * 1024)
+        }
+
+    results = once(benchmark, run)
+    print()
+    for entries, char in results.items():
+        print(f"  gshare {entries:>6}: accuracy {char.accuracy:6.1%}  mispredictions {char.mispredictions}")
+    accs = [results[e].accuracy for e in (256, 4096, 64 * 1024)]
+    assert accs[0] <= accs[1] + 0.02 and accs[1] <= accs[2] + 0.02
+
+
+def test_l1_latency_cost_of_slice4(benchmark):
+    """§7.1: the slice-by-4 machine takes a 2-cycle L1D.  Quantify what
+    that alone costs by running slice-by-4 with a (counterfactual)
+    1-cycle L1D."""
+    trace = collect_trace("mcf", BENCH_INSTRUCTIONS + BENCH_WARMUP)
+    paper_cfg = bitslice_config(4)
+    fast_l1 = dataclasses.replace(paper_cfg, l1_latency=1)
+
+    def run():
+        return (
+            simulate(paper_cfg, trace, warmup=BENCH_WARMUP),
+            simulate(fast_l1, trace, warmup=BENCH_WARMUP),
+        )
+
+    paper, fast = once(benchmark, run)
+    print(f"\n  mcf slice-4: 2-cycle L1D IPC {paper.ipc:.3f}, 1-cycle L1D IPC {fast.ipc:.3f}")
+    assert fast.ipc >= paper.ipc
+
+
+def test_replay_penalty_sensitivity(benchmark):
+    """The selective-replay cost charged on load-hit mis-speculation
+    (and PTM way mispredicts) should shift IPC monotonically."""
+    trace = collect_trace("mcf", BENCH_INSTRUCTIONS + BENCH_WARMUP)
+
+    def run():
+        out = {}
+        for penalty in (0, 2, 8):
+            cfg = dataclasses.replace(bitslice_config(2), replay_penalty=penalty)
+            out[penalty] = simulate(cfg, trace, warmup=BENCH_WARMUP)
+        return out
+
+    results = once(benchmark, run)
+    print()
+    for penalty, stats in results.items():
+        print(f"  replay penalty {penalty}: IPC {stats.ipc:.3f} ({stats.load_replays} replays)")
+    ipcs = [results[p].ipc for p in (0, 2, 8)]
+    assert ipcs[0] >= ipcs[1] >= ipcs[2]

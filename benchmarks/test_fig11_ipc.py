@@ -1,0 +1,50 @@
+"""Bench: regenerate Figure 11 (IPC of the bit-sliced machine).
+
+Prints the full cumulative-technique IPC table for slice-by-2 and
+slice-by-4 and asserts the paper's headline shapes:
+
+* naive EX pipelining loses IPC, more for deeper pipelines;
+* the full bit-slice design recovers most of it — slice-by-2 lands
+  within a few % of the ideal machine (paper: ~1%);
+* slice-by-4's speedup over simple pipelining exceeds slice-by-2's;
+* the §7.1 stat: partial-tag way misprediction rate stays small.
+"""
+
+from conftest import BENCH_SUBSET, once
+
+
+def test_figure11(benchmark, fig11_sweep):
+    result = once(benchmark, lambda: fig11_sweep)
+    print()
+    print(result.render())
+
+    for name in BENCH_SUBSET:
+        ideal = result.ideal_ipc(name)
+        for s in (2, 4):
+            simple = result.simple_ipc(name, s)
+            full = result.ipc(name, s)
+            assert simple < ideal, (name, s, "pipelining must cost IPC")
+            assert full > simple, (name, s, "bit-slicing must recover IPC")
+            assert full <= ideal * 1.02, (name, s, "no free lunch")
+        # Deeper pipelining hurts more.
+        assert result.simple_ipc(name, 4) < result.simple_ipc(name, 2)
+
+    # Aggregates (paper: slice-2 ~100% of ideal / +16% over simple;
+    # slice-4 ~82% of ideal / +44% over simple).
+    rel2 = result.mean_relative_to_ideal(2)
+    rel4 = result.mean_relative_to_ideal(4)
+    assert rel2 > 0.93
+    assert rel4 > 0.80
+    assert rel2 > rel4
+    up2 = result.mean_speedup_over_simple(2)
+    up4 = result.mean_speedup_over_simple(4)
+    assert up2 > 0.03
+    assert up4 > up2
+
+    # §7.1: way-misprediction rate of partial tag matching is small
+    # (paper: ~2% slice-by-2, ~1% slice-by-4).
+    for name in BENCH_SUBSET:
+        for s in (2, 4):
+            stats = result.ladder[(name, s)][-1]
+            if stats.ptm_accesses > 200:
+                assert stats.ptm_way_mispredict_rate < 0.10, (name, s)

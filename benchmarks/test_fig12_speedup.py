@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 12 (speed-up decomposition).
+
+Prints the per-technique incremental speed-ups over simple pipelining
+and asserts the decomposition shapes the paper reports:
+
+* partial operand bypassing alone provides a large share of the gain
+  ("roughly half of the benefit for most benchmarks");
+* the remaining techniques together add more on top (paper: +8%
+  average at slice-by-2, +13% at slice-by-4);
+* increments sum exactly to the total speed-up.
+"""
+
+from conftest import BENCH_SUBSET, once
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, fig11_sweep):
+    result = once(benchmark, figure12.run, base=fig11_sweep)
+    print()
+    print(result.render())
+
+    for s in (2, 4):
+        for name in BENCH_SUBSET:
+            incs = result.increments(name, s)
+            total = result.total_speedup(name, s)
+            assert abs(sum(v for _, v in incs) - total) < 1e-9
+            assert total > 0, (name, s)
+            pob = incs[0][1]
+            assert pob > 0, (name, s, "bypassing must contribute")
+            # Bypassing is a major component: at least a third of the
+            # total on every benchmark (paper: roughly half).
+            assert pob >= total / 3 - 1e-9, (name, s)
+        # The new techniques add on top of bypassing, and add more at
+        # deeper slicing (paper: 8% at x2, 13% at x4).
+        extra = result.mean_new_technique_contribution(s)
+        assert extra >= 0
+    assert result.mean_new_technique_contribution(4) >= result.mean_new_technique_contribution(2)

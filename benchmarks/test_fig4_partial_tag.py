@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 4 (partial tag matching).
+
+Prints the outcome stacks for the paper's two panels (mcf 64KB/64B,
+twolf 8KB/32B) at 2/4/8 ways and asserts the convergence shape: the
+multi-match fraction decays with tag bits and the stack converges to
+the true hit/miss split.
+"""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+from repro.experiments import figure4
+from repro.memsys.partial_tag import PartialTagOutcome
+
+
+def test_figure4(benchmark):
+    result = once(
+        benchmark,
+        figure4.run,
+        instructions=3 * BENCH_INSTRUCTIONS,
+        warmup=BENCH_WARMUP,
+    )
+    print()
+    print(result.render())
+    for (name, assoc), char in result.panels.items():
+        bits = sorted(char.counts)
+        multi = [char.fraction(b, PartialTagOutcome.MULTI) for b in bits]
+        # Shape 1: ambiguity decays monotonically with bits.
+        assert all(b <= a + 1e-9 for a, b in zip(multi, multi[1:])), (name, assoc)
+        # Shape 2: the full-width compare is exact.
+        full = char.config.tag_bits
+        assert char.fraction(full, PartialTagOutcome.MULTI) == 0.0
+        assert char.fraction(full, PartialTagOutcome.SINGLE_MISS) == 0.0
+        # Shape 3: single-entry-miss stays small once a few tag bits
+        # are visible (paper: "the single entry-miss category is quite
+        # small at this point" — what makes MRU way prediction safe).
+        probe = min(b for b in bits if b >= 4)
+        assert char.fraction(probe, PartialTagOutcome.SINGLE_MISS) < 0.15, (name, assoc)

@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 1 (benchmark characteristics).
+
+Prints the same rows the paper's Table 1 reports (IPC, % loads, branch
+accuracy per benchmark) and asserts they stay in the plausible bands.
+"""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_SUBSET, BENCH_WARMUP, once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = once(
+        benchmark, table1.run, BENCH_SUBSET, instructions=BENCH_INSTRUCTIONS, warmup=BENCH_WARMUP
+    )
+    print()
+    print(result.render())
+    rows = result.rows()
+    assert [r.benchmark for r in rows] == list(BENCH_SUBSET)
+    for row in rows:
+        # Paper Table 1: IPC 0.7–2.9, loads 20–35%, accuracy 75–98%.
+        # Synthetic kernels land in wider but overlapping bands.
+        assert 0.2 < row.ipc < 4.0
+        assert 0.03 < row.load_fraction < 0.6
+        assert 0.6 < row.branch_accuracy <= 1.0

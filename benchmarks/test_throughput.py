@@ -1,0 +1,59 @@
+"""Bench: simulator throughput (the classic pytest-benchmark use).
+
+Measures the functional emulator and the timing simulator in
+instructions per second — useful for tracking regressions in the
+simulation infrastructure itself.
+"""
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.emulator.machine import Machine
+from repro.timing.simulator import simulate
+from repro.workloads import get_workload
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def bzip_trace():
+    machine = Machine(get_workload("bzip").build(iters=1))
+    return tuple(machine.trace(N))
+
+
+def test_emulator_throughput(benchmark):
+    program = get_workload("bzip").build(iters=1)
+
+    def run():
+        machine = Machine(program)
+        machine.run(N)
+        return machine.instret
+
+    executed = benchmark(run)
+    assert executed == N
+
+
+def test_timing_simulator_throughput_ideal(benchmark, bzip_trace):
+    stats = benchmark(lambda: simulate(baseline_config(), bzip_trace))
+    assert stats.instructions == N
+
+
+def test_timing_simulator_throughput_bitslice4(benchmark, bzip_trace):
+    stats = benchmark(lambda: simulate(bitslice_config(4), bzip_trace))
+    assert stats.instructions == N
+
+
+def test_lsq_characterization_scalar(benchmark, bzip_trace):
+    from repro.characterization.lsq_char import characterize_lsq
+
+    result = benchmark(lambda: characterize_lsq(bzip_trace))
+    assert result.loads > 0
+
+
+def test_lsq_characterization_vectorized(benchmark, bzip_trace):
+    """The numpy fast path must match the scalar study (asserted in
+    tests/) — this bench tracks the speedup."""
+    from repro.characterization.vectorized import characterize_lsq_fast
+
+    result = benchmark(lambda: characterize_lsq_fast(bzip_trace))
+    assert result.loads > 0

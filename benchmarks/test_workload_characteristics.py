@@ -1,0 +1,28 @@
+"""Bench: regenerate the workload-characteristics table and assert the
+suite stays within the behaviour bands the substitution argument
+(DESIGN.md §2) relies on."""
+
+from conftest import BENCH_INSTRUCTIONS, once
+
+from repro.experiments import workload_table
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_workload_characteristics(benchmark):
+    result = once(benchmark, workload_table.run, BENCHMARK_NAMES, instructions=BENCH_INSTRUCTIONS)
+    print()
+    print(result.render())
+    for name, p in result.profiles.items():
+        # Integer-workload bands: memory traffic, control flow and
+        # dependence tightness comparable to compiled integer code.
+        assert 0.015 < p.load_fraction < 0.6, name  # vpr windows can land in its store-only reset loop
+        assert 0.01 < p.branch_fraction < 0.5, name
+        assert 0.2 < p.taken_rate <= 1.0, name
+        assert p.short_dependence_fraction(2) > 0.25, name
+        assert p.data_working_set > 0, name
+    # The suite spans memory-light to memory-heavy kernels, and writes
+    # meaningfully in aggregate (go's eval loop is read-only by design).
+    wsets = [p.data_working_set for p in result.profiles.values()]
+    assert max(wsets) > 10 * min(wsets)
+    stores = [p.store_fraction for p in result.profiles.values()]
+    assert sum(stores) / len(stores) > 0.02

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run the classic-kernel gallery and compare against host oracles.
+
+Demonstrates `repro.workloads.kernels`: each kernel's guest result is
+recomputed on the host (CRC-32 against the standard library itself),
+then the sieve kernel is pushed through the three machine
+configurations for a timing comparison.
+
+Run:  python examples/kernel_gallery.py
+"""
+
+import binascii
+import math
+
+from repro.core.config import baseline_config, bitslice_config, simple_pipeline_config
+from repro.emulator.machine import Machine, to_signed
+from repro.emulator.trace import trace_program
+from repro.isa.assembler import assemble
+from repro.timing.simulator import simulate
+from repro.workloads import kernels
+
+
+def run(source: str) -> int:
+    machine = Machine(assemble(source))
+    machine.run(20_000_000)
+    return int(machine.stdout.split(":")[1])
+
+
+def main() -> None:
+    print("=== guest vs. host oracles ===")
+
+    guest = run(kernels.fibonacci(30))
+    host = 832040
+    print(f"  fib(30)        guest={guest:<12d} host={host:<12d} {'OK' if guest == host else 'FAIL'}")
+
+    guest = run(kernels.sieve(10_000))
+    host = 1229  # pi(10000)
+    print(f"  pi(10000)      guest={guest:<12d} host={host:<12d} {'OK' if guest == host else 'FAIL'}")
+
+    data = b"partial operand knowledge"
+    guest = run(kernels.crc32(data))
+    host = to_signed(binascii.crc32(data))
+    print(f"  crc32          guest={guest:<12d} host={host:<12d} {'OK' if guest == host else 'FAIL'}")
+
+    guest = run(kernels.gcd(123456, 7890))
+    host = math.gcd(123456, 7890)
+    print(f"  gcd            guest={guest:<12d} host={host:<12d} {'OK' if guest == host else 'FAIL'}")
+
+    n, seed = 10, 42
+    a, b = kernels.host_matrices(n, seed)
+    host = sum(sum(a[i][k] * b[k][i] for k in range(n)) for i in range(n))
+    guest = run(kernels.matmul(n, seed))
+    print(f"  matmul trace   guest={guest:<12d} host={host:<12d} {'OK' if guest == host else 'FAIL'}")
+
+    print("\n=== sieve(5000) under the three machines ===")
+    trace = tuple(trace_program(assemble(kernels.sieve(5000)), max_steps=60_000))
+    for config in (baseline_config(), simple_pipeline_config(2), bitslice_config(2)):
+        stats = simulate(config, trace)
+        print(f"  {config.name:<16s} IPC = {stats.ipc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

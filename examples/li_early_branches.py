@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Figure 5 story: early branch resolution in the `li` workload.
+
+The paper's motivating example is a lisp interpreter's mark loop:
+
+    lbu  $3, 1($16)        # load the flag byte
+    andi $2, $3, 0x0001    # isolate the MARK bit
+    bne  $2, $0, $L110     # branch if already marked
+
+When `bne` is predicted not-taken, detecting a misprediction needs only
+bit 0 of `$2` — the paper exploits this to redirect fetch early.  This
+example runs the synthetic `li` workload (which embeds that exact
+idiom), characterizes how many operand bits mispredictions need
+(Figure 6), and shows the IPC effect of early branch resolution.
+
+Run:  python examples/li_early_branches.py
+"""
+
+from repro.branch.early import bits_to_detect_mispredict
+from repro.characterization import characterize_branches
+from repro.core.config import Features, bitslice_config
+from repro.timing.simulator import simulate
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("li")
+    print(f"workload: li — {workload.description}")
+
+    print("\n=== the Figure 5 idiom, in isolation ===")
+    # andi leaves only bit 0; predicted not-taken + actually taken.
+    needed = bits_to_detect_mispredict("bne", rs_val=1, rt_val=0, predicted_taken=False, actual_taken=True)
+    print(f"  bne on an andi-masked flag: misprediction detectable after {needed} bit(s)")
+    needed = bits_to_detect_mispredict("bne", rs_val=0, rt_val=0, predicted_taken=True, actual_taken=False)
+    print(f"  ... but proving equality (loop stays) needs {needed} bits")
+
+    print("\n=== Figure 6 characterization over the li trace ===")
+    trace = tuple(workload.trace(max_steps=40_000))
+    char = characterize_branches(trace, benchmark="li", warmup=10_000)
+    print(f"  branches: {char.branches}, accuracy {char.accuracy:.1%}, mispredictions {char.mispredictions}")
+    for bits in (1, 2, 4, 8, 16, 32):
+        print(f"  detected with {bits:2d} low-order bits: {char.detected_fraction(bits):6.1%}")
+    print(f"  beq/bne share of branches: {char.eq_type_branch_fraction:.0%}")
+
+    print("\n=== IPC effect of early branch resolution (slice by 4) ===")
+    # With in-order slice execution the compare slices finish one per
+    # cycle, so detecting the misprediction at slice 0 saves the most.
+    print("  (a) in-order slices — the mechanism at full strength:")
+    without = Features(partial_operand_bypassing=True)
+    with_eb = Features(partial_operand_bypassing=True, early_branch_resolution=True)
+    ipc_without = simulate(bitslice_config(4, without), trace, warmup=10_000).ipc
+    stats_with = simulate(bitslice_config(4, with_eb), trace, warmup=10_000)
+    print(f"      without: IPC {ipc_without:.3f}")
+    print(
+        f"      with   : IPC {stats_with.ipc:.3f} "
+        f"({stats_with.early_resolved_mispredicts} mispredictions redirected early)"
+    )
+    # With out-of-order slices, independent compare slices issue in
+    # parallel whenever operands allow, so early resolution only helps
+    # branches whose operands arrive staggered through carry chains.
+    print("  (b) out-of-order slices — most compares already resolve in one cycle:")
+    without = Features(True, True, False, False, False)
+    with_eb = Features(True, True, True, False, False)
+    ipc_without = simulate(bitslice_config(4, without), trace, warmup=10_000).ipc
+    stats_with = simulate(bitslice_config(4, with_eb), trace, warmup=10_000)
+    print(f"      without: IPC {ipc_without:.3f}")
+    print(
+        f"      with   : IPC {stats_with.ipc:.3f} "
+        f"({stats_with.early_resolved_mispredicts} mispredictions redirected early)"
+    )
+
+
+if __name__ == "__main__":
+    main()

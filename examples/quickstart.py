@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, run it, and compare pipeline configs.
+
+Walks the full public API surface in one page:
+
+1. assemble PISA-like source and execute it functionally;
+2. collect a dynamic trace;
+3. run the timing simulator in three configurations — the ideal
+   machine (1-cycle EX), naive EX pipelining, and the paper's
+   bit-sliced machine — and print the IPC recovery story.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.config import (
+    TABLE2,
+    baseline_config,
+    bitslice_config,
+    describe,
+    simple_pipeline_config,
+)
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_program
+from repro.timing.simulator import simulate
+
+SOURCE = """
+# dot product with a data-dependent early-out, exercising loads,
+# arithmetic chains, and both branch flavours
+        .data
+xs:     .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+ys:     .word 2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5
+        .text
+main:   la   $s0, xs
+        la   $s1, ys
+        li   $s2, 16            # element count
+        li   $s3, 0             # accumulator
+        li   $s4, 2000          # outer repetitions
+outer:  li   $t0, 0             # index
+inner:  sll  $t1, $t0, 2
+        addu $t2, $s0, $t1
+        lw   $t3, 0($t2)
+        addu $t2, $s1, $t1
+        lw   $t4, 0($t2)
+        mult $t3, $t4
+        mflo $t5
+        addu $s3, $s3, $t5
+        addiu $t0, $t0, 1
+        bne  $t0, $s2, inner
+        addiu $s4, $s4, -1
+        bgtz $s4, outer
+        move $a0, $s3
+        li   $v0, 1             # print accumulated dot product
+        syscall
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print("=== disassembly (first 8 instructions) ===")
+    for line in disassemble_program(program.text, program.text_base)[:8]:
+        print(" ", line)
+
+    machine = Machine(program)
+    machine.run()
+    print(f"\nfunctional run: {machine.instret} instructions, output = {machine.stdout!r}")
+
+    print("\n=== Table 2 machine configuration ===")
+    for key, value in TABLE2.items():
+        print(f"  {key}: {value}")
+
+    trace = tuple(Machine(program).trace(30_000))
+    print(f"\n=== timing simulation over {len(trace)} instructions ===")
+    for config in (
+        baseline_config(),
+        simple_pipeline_config(2),
+        bitslice_config(2),
+        simple_pipeline_config(4),
+        bitslice_config(4),
+    ):
+        stats = simulate(config, trace)
+        print(f"  {describe(config)}")
+        print(f"      IPC = {stats.ipc:.3f}")
+
+    print(
+        "\nThe bit-sliced machine recovers most of the IPC that naive EX\n"
+        "pipelining loses — the paper's headline result (Figure 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

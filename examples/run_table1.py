@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Regenerate Table 1 (benchmark characteristics) from the command line.
+
+Equivalent to ``repro-experiment table1`` but shows the library API.
+
+Run:  python examples/run_table1.py [--instructions N] [benchmarks...]
+"""
+
+import argparse
+
+from repro.experiments import table1
+from repro.workloads import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
+    parser.add_argument("--instructions", "-n", type=int, default=20_000)
+    args = parser.parse_args()
+    result = table1.run(tuple(args.benchmarks), instructions=args.instructions)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Sweep the Figure 11/12 design space on selected benchmarks.
+
+Prints, per benchmark and slice count, the full cumulative technique
+ladder plus the derived speed-up decomposition — the data behind the
+paper's Figures 11 and 12.
+
+Run:  python examples/sweep_slicing.py li mcf --instructions 20000
+"""
+
+import argparse
+
+from repro.experiments import figure11, figure12
+from repro.workloads import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=["li", "bzip"])
+    parser.add_argument("--instructions", "-n", type=int, default=20_000)
+    parser.add_argument("--slices", type=int, nargs="+", default=[2, 4], choices=[2, 4])
+    args = parser.parse_args()
+    for name in args.benchmarks:
+        if name not in BENCHMARK_NAMES:
+            parser.error(f"unknown benchmark {name!r}")
+
+    base = figure11.run(
+        tuple(args.benchmarks), instructions=args.instructions, slice_counts=tuple(args.slices)
+    )
+    print(base.render())
+    print()
+    print(figure12.run(base=base).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Profile every workload's dynamic behaviour (mix-validation report).
+
+Prints, per benchmark, the statistics that determine how the paper's
+techniques behave on it: instruction mix, dependence tightness (short
+producer→consumer distances are what make a pipelined EX expensive),
+working-set size (partial-tag diversity), and branch behaviour.
+
+Run:  python examples/workload_profiles.py [names...]
+"""
+
+import sys
+
+from repro.emulator.analysis import profile_trace
+from repro.workloads import BENCHMARK_NAMES, get_workload
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(BENCHMARK_NAMES)
+    header = (
+        f"{'bench':8s} {'loads':>6s} {'stores':>7s} {'branch':>7s} "
+        f"{'taken':>6s} {'dep<=2':>7s} {'wset':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        workload = get_workload(name)
+        profile = profile_trace(workload.trace(max_steps=20_000))
+        print(
+            f"{name:8s} {profile.load_fraction:6.1%} {profile.store_fraction:7.1%} "
+            f"{profile.branch_fraction:7.1%} {profile.taken_rate:6.0%} "
+            f"{profile.short_dependence_fraction(2):7.1%} "
+            f"{profile.data_working_set // 1024:6d}KB"
+        )
+
+
+if __name__ == "__main__":
+    main()

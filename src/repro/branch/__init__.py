@@ -1,0 +1,22 @@
+"""Branch-prediction substrate (paper Table 2) and early resolution.
+
+A 64k-entry gshare direction predictor, a 4-way 512-entry BTB, an
+8-entry return-address stack, a combined front-end predictor, and the
+early-misprediction-detection analysis of paper §5.3 / Figures 5–6.
+"""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.early import bits_to_detect_mispredict, can_resolve_early
+from repro.branch.gshare import GsharePredictor
+from repro.branch.predictor import FrontEndPredictor, PredictionOutcome
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "BranchTargetBuffer",
+    "FrontEndPredictor",
+    "GsharePredictor",
+    "PredictionOutcome",
+    "ReturnAddressStack",
+    "bits_to_detect_mispredict",
+    "can_resolve_early",
+]

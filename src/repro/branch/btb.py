@@ -1,0 +1,57 @@
+"""Branch target buffer, paper Table 2: 4-way, 512 entries.
+
+Caches taken-branch and jump targets by fetch PC.  Set-associative with
+LRU replacement, same recency discipline as the data caches.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    """Set-associative PC → target cache."""
+
+    def __init__(self, entries: int = 512, assoc: int = 4) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by associativity")
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        # Each set: list of (tag, target), MRU-first.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & (self.num_sets - 1), word >> (self.num_sets.bit_length() - 1)
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the control instruction at *pc*, or None."""
+        index, tag = self._locate(pc)
+        self.lookups += 1
+        ways = self._sets[index]
+        for pos, (t, target) in enumerate(ways):
+            if t == tag:
+                if pos:
+                    ways.insert(0, ways.pop(pos))
+                self.hits += 1
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target for *pc*."""
+        index, tag = self._locate(pc)
+        ways = self._sets[index]
+        for pos, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(pos)
+                break
+        else:
+            if len(ways) >= self.assoc:
+                ways.pop()
+        ways.insert(0, (tag, target))
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,85 @@
+"""Early branch misprediction detection (paper §5.3, Figures 5–6).
+
+Of the six PISA conditional branch types, only ``beq``/``bne`` can be
+resolved from partial operands: their comparison is a per-bit XOR, so a
+*difference* is proven as soon as any examined bit pair differs.  The
+sign-testing types (``blez``/``bgtz``/``bltz``/``bgez``) need bit 31,
+and proving *equality* (beq predicted taken, or bne predicted
+not-taken, being correct) needs all 32 bits.
+
+The key function maps a dynamic branch + its prediction to the number
+of low-order operand bits that must be examined before the
+misprediction (if any) is detectable.
+"""
+
+from __future__ import annotations
+
+#: Result meaning "needs every bit" (the Figure 6 spike at bit 31).
+ALL_BITS = 32
+
+_EARLY_TYPES = frozenset({"beq", "bne"})
+_SIGN_TYPES = frozenset({"blez", "bgtz", "bltz", "bgez", "bc1t", "bc1f"})
+
+
+def can_resolve_early(mnemonic: str, predicted_taken: bool) -> bool:
+    """Whether this (branch type, prediction) pair can detect a
+    misprediction before all operand bits are known.
+
+    ``beq`` predicted **taken** mispredicts when the operands differ —
+    detectable at the first differing bit.  ``bne`` predicted
+    **not-taken** likewise.  The converse predictions require proving
+    equality, which needs every bit, and sign-testing branches need
+    bit 31 (paper §5.3).
+    """
+    if mnemonic == "beq":
+        return predicted_taken
+    if mnemonic == "bne":
+        return not predicted_taken
+    return False
+
+
+def bits_to_detect_mispredict(
+    mnemonic: str, rs_val: int, rt_val: int, predicted_taken: bool, actual_taken: bool
+) -> int | None:
+    """Bits (cumulative from bit 0) needed to detect the misprediction.
+
+    Returns None when the prediction was correct (nothing to detect).
+    For a detectable-early case the answer is ``lowest_set_bit(rs ^ rt)
+    + 1``; otherwise :data:`ALL_BITS`.
+
+    Args:
+        mnemonic: one of the six conditional branch types.
+        rs_val, rt_val: 32-bit operand images (rt is 0 for the
+            compare-to-zero types).
+        predicted_taken: front-end prediction.
+        actual_taken: architectural outcome.
+    """
+    if predicted_taken == actual_taken:
+        return None
+    if mnemonic in _SIGN_TYPES:
+        return ALL_BITS
+    if mnemonic not in _EARLY_TYPES:
+        raise ValueError(f"not a conditional branch: {mnemonic!r}")
+    diff = (rs_val ^ rt_val) & 0xFFFFFFFF
+    if diff == 0:
+        # Operands equal: the misprediction direction required proving
+        # equality, which consumes every bit.
+        return ALL_BITS
+    # Operands differ.  The misprediction is the "predicted equal,
+    # actually different" direction exactly when early resolution
+    # applies; the first differing bit reveals it.
+    if can_resolve_early(mnemonic, predicted_taken):
+        return (diff & -diff).bit_length()
+    return ALL_BITS
+
+
+def detectable_with_bits(
+    mnemonic: str, rs_val: int, rt_val: int, predicted_taken: bool, actual_taken: bool, bits: int
+) -> bool:
+    """Whether the misprediction is detectable using bits [0, bits).
+
+    Convenience wrapper over :func:`bits_to_detect_mispredict` for the
+    Figure 6 cumulative curves.
+    """
+    needed = bits_to_detect_mispredict(mnemonic, rs_val, rt_val, predicted_taken, actual_taken)
+    return needed is not None and needed <= bits

@@ -1,0 +1,62 @@
+"""gshare direction predictor (McFarling), paper Table 2: 64k entries.
+
+A global history register is XORed with the branch PC to index a table
+of 2-bit saturating counters.  The paper uses a "very large 64k-entry
+gshare" for the Figure 6 characterization and the Table 2 machine.
+"""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """2-bit-counter gshare with *entries* counters (power of two)."""
+
+    def __init__(self, entries: int = 64 * 1024, history_bits: int | None = None) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.history_bits = self.index_bits if history_bits is None else history_bits
+        self.history = 0
+        # Counters start weakly taken (2), the usual initialization.
+        self.table = bytearray([2] * entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at *pc*."""
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the resolved outcome; returns whether the prediction was correct.
+
+        The counter is updated and the outcome is shifted into the
+        global history (speculative history update is not modeled; the
+        characterization and timing model train at resolution).
+        """
+        index = self._index(pc)
+        counter = self.table[index]
+        predicted = counter >= 2
+        self.predictions += 1
+        if predicted != taken:
+            self.mispredictions += 1
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1
+        mask = (1 << self.history_bits) - 1
+        self.history = ((self.history << 1) | int(taken)) & mask
+        return predicted == taken
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredictions / self.predictions if self.predictions else 0.0
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

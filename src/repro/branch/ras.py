@@ -1,0 +1,48 @@
+"""Return address stack, paper Table 2: 8 entries.
+
+A small circular stack: calls (``jal``/``jalr``) push their return
+address; returns (``jr $ra``) pop a predicted target.  Overflow wraps
+(overwriting the oldest entry), underflow predicts nothing — both are
+the standard hardware behaviours.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor."""
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = [0] * depth
+        self._top = 0  # number of live entries, saturates at depth
+        self._pos = 0  # next push position (circular)
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        self._stack[self._pos] = return_address
+        self._pos = (self._pos + 1) % self.depth
+        self._top = min(self._top + 1, self.depth)
+        self.pushes += 1
+
+    def pop(self) -> int | None:
+        """Predicted target of a return, or None when empty."""
+        if self._top == 0:
+            return None
+        self._pos = (self._pos - 1) % self.depth
+        self._top -= 1
+        self.pops += 1
+        return self._stack[self._pos]
+
+    def peek(self) -> int | None:
+        """Top of stack without popping."""
+        if self._top == 0:
+            return None
+        return self._stack[(self._pos - 1) % self.depth]
+
+    def __len__(self) -> int:
+        return self._top

@@ -1,0 +1,25 @@
+"""Trace-driven characterization studies (paper §4–5).
+
+One module per paper figure:
+
+* :mod:`repro.characterization.lsq_char` — Figure 2, early load–store
+  disambiguation categories vs. address bits compared;
+* :mod:`repro.characterization.tag_char` — Figure 4, partial tag
+  matching categories vs. tag bits compared;
+* :mod:`repro.characterization.branch_char` — Figure 6, fraction of
+  mispredictions detectable vs. operand bits examined, plus the §5.3
+  branch-mix statistics.
+"""
+
+from repro.characterization.branch_char import BranchCharacterization, characterize_branches
+from repro.characterization.lsq_char import LSQCharacterization, characterize_lsq
+from repro.characterization.tag_char import TagCharacterization, characterize_tags
+
+__all__ = [
+    "BranchCharacterization",
+    "LSQCharacterization",
+    "TagCharacterization",
+    "characterize_branches",
+    "characterize_lsq",
+    "characterize_tags",
+]

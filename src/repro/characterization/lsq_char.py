@@ -1,0 +1,99 @@
+"""Figure 2: early load–store disambiguation characterization.
+
+For every dynamic load, at the moment it (notionally) enters a 32-entry
+unified LSQ, its address is compared bit-serially from bit 2 against
+the addresses of all prior stores still in the queue, and the outcome
+is classified per the Figure 2 legend at every partial width.  As in
+the paper, store addresses are assumed perfectly known ("for this
+characterization we assume perfect knowledge of prior store
+addresses").
+
+The queue occupancy is approximated structurally: a store remains
+"prior and in the queue" for the next ``lsq_size`` memory operations,
+mirroring a 32-entry unified queue of in-flight memory instructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.emulator.trace import TraceRecord
+from repro.lsq.disambiguation import (
+    FIRST_COMPARE_BIT,
+    LAST_COMPARE_BIT,
+    LSDCategory,
+    classify_disambiguation,
+)
+
+
+@dataclass
+class LSQCharacterization:
+    """Per-bit category counts for one benchmark (one Figure 2 panel)."""
+
+    benchmark: str = ""
+    loads: int = 0
+    #: counts[high_bit][category] for high_bit in 2..31.
+    counts: dict[int, dict[LSDCategory, int]] = field(default_factory=dict)
+
+    def fraction(self, high_bit: int, category: LSDCategory) -> float:
+        """Fraction of all loads in *category* after comparing bits
+        [2, high_bit] (one bar segment of Figure 2)."""
+        if not self.loads:
+            return 0.0
+        return self.counts[high_bit].get(category, 0) / self.loads
+
+    def resolved_fraction(self, high_bit: int) -> float:
+        """Fraction of loads decisively disambiguated at *high_bit*:
+        either all stores ruled out or a unique true match found."""
+        decisive = (
+            LSDCategory.NO_STORES,
+            LSDCategory.ZERO_MATCH,
+            LSDCategory.SINGLE_MATCH_ONE_STORE,
+            LSDCategory.SINGLE_MATCH_MULT_STORES,
+            LSDCategory.MULTI_SAME_ADDR,
+        )
+        return sum(self.fraction(high_bit, c) for c in decisive)
+
+
+def characterize_lsq(
+    trace,
+    benchmark: str = "",
+    lsq_size: int = 32,
+    bits: tuple[int, ...] | None = None,
+) -> LSQCharacterization:
+    """Run the Figure 2 study over *trace*.
+
+    Args:
+        trace: iterable of :class:`TraceRecord`.
+        benchmark: label for reporting.
+        lsq_size: unified queue capacity (Table 2: 32).
+        bits: the high-bit sample points; defaults to every bit 2..31.
+    """
+    sample_bits = tuple(range(FIRST_COMPARE_BIT, LAST_COMPARE_BIT + 1)) if bits is None else bits
+    result = LSQCharacterization(benchmark=benchmark)
+    result.counts = {b: {} for b in sample_bits}
+    # Each element: (age_counter, addr).  A store stays "in the queue"
+    # while fewer than lsq_size younger memory ops have entered.
+    window: deque[tuple[int, int]] = deque()
+    mem_seq = 0
+    for record in trace:
+        inst = record.inst
+        if inst.is_store:
+            window.append((mem_seq, record.mem_addr))
+            mem_seq += 1
+            while window and window[0][0] < mem_seq - lsq_size:
+                window.popleft()
+            continue
+        if not inst.is_load:
+            continue
+        mem_seq += 1
+        while window and window[0][0] < mem_seq - lsq_size:
+            window.popleft()
+        store_addrs = [a for _, a in window]
+        result.loads += 1
+        for b in sample_bits:
+            category = classify_disambiguation(record.mem_addr, store_addrs, b)
+            bucket = result.counts[b]
+            bucket[category] = bucket.get(category, 0) + 1
+    return result

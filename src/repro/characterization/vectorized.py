@@ -1,0 +1,176 @@
+"""Vectorized characterization kernels.
+
+The scalar studies in :mod:`repro.characterization.lsq_char` and
+:mod:`repro.characterization.tag_char` classify every access at every
+partial width with a Python loop — O(bits × entries) per access.  These
+numpy equivalents exploit a simple observation: a comparison's category
+at width *b* is fully determined by each entry's **first differing bit**
+against the probe, so one pass computes the whole per-access curve.
+
+For an entry with first-diff bit *d* (32 when it matches fully), the
+entry partially matches at width *b* iff ``d > b``.  Counting entries
+and distinct addresses above each threshold gives every category at
+every width from two sorted arrays — no per-bit work at all.
+
+Equivalence with the scalar implementations is enforced by property
+tests (`tests/test_vectorized.py`); the speedup is tracked by
+`benchmarks/test_throughput.py`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.characterization.lsq_char import LSQCharacterization
+from repro.characterization.tag_char import TagCharacterization
+from repro.lsq.disambiguation import FIRST_COMPARE_BIT, LSDCategory
+from repro.memsys.cache import CacheConfig, SetAssociativeCache
+from repro.memsys.partial_tag import PartialTagOutcome
+
+_ADDR_MASK = 0xFFFFFFFC  # bits 0-1 never participate (§5.1)
+_FULL_BIT = 32           # sentinel: no differing bit (full match)
+
+
+def first_diff_bits(probe: int, entries: np.ndarray, mask: int = _ADDR_MASK) -> np.ndarray:
+    """First differing bit of *probe* vs. each entry (32 = full match)."""
+    diffs = (entries ^ np.uint64(probe)) & np.uint64(mask)
+    out = np.full(len(entries), _FULL_BIT, dtype=np.int64)
+    nz = diffs != 0
+    if nz.any():
+        d = diffs[nz].astype(np.uint64)
+        lowest = d & (~d + np.uint64(1))
+        # bit_length - 1 via log2 on exact powers of two.
+        out[nz] = np.log2(lowest.astype(np.float64)).astype(np.int64)
+    return out
+
+
+def lsd_category_curve(load_addr: int, store_addrs: list[int]) -> list[LSDCategory]:
+    """Figure 2 categories for high_bit = 2..31, computed in one pass."""
+    bits = np.arange(FIRST_COMPARE_BIT, 32)
+    if not store_addrs:
+        return [LSDCategory.NO_STORES] * len(bits)
+    stores = np.asarray(store_addrs, dtype=np.uint64)
+    fdb = first_diff_bits(load_addr, stores)
+    # Per-store and per-distinct-address survivor counts above each bit.
+    fdb_sorted = np.sort(fdb)
+    survivors = len(fdb) - np.searchsorted(fdb_sorted, bits, side="right")
+    unique_addrs = np.unique(stores & np.uint64(_ADDR_MASK))
+    ufdb = np.sort(first_diff_bits(load_addr, unique_addrs))
+    group_survivors = len(ufdb) - np.searchsorted(ufdb, bits, side="right")
+    has_full_match = bool((fdb == _FULL_BIT).any())
+    multiple_stores = len(store_addrs) > 1
+
+    out: list[LSDCategory] = []
+    for p, g in zip(survivors, group_survivors):
+        if p == 0:
+            out.append(LSDCategory.ZERO_MATCH)
+        elif p == 1:
+            if has_full_match:
+                # The lone survivor is necessarily the longest-matching
+                # store, i.e. the full matcher when one exists.
+                out.append(
+                    LSDCategory.SINGLE_MATCH_MULT_STORES
+                    if multiple_stores
+                    else LSDCategory.SINGLE_MATCH_ONE_STORE
+                )
+            else:
+                out.append(LSDCategory.SINGLE_NONMATCH)
+        elif g == 1:
+            out.append(LSDCategory.MULTI_SAME_ADDR)
+        else:
+            out.append(LSDCategory.MULTI_DIFF_ADDR)
+    return out
+
+
+def characterize_lsq_fast(
+    trace,
+    benchmark: str = "",
+    lsq_size: int = 32,
+    bits: tuple[int, ...] | None = None,
+) -> LSQCharacterization:
+    """Drop-in vectorized equivalent of
+    :func:`repro.characterization.lsq_char.characterize_lsq`."""
+    sample_bits = tuple(range(FIRST_COMPARE_BIT, 32)) if bits is None else bits
+    result = LSQCharacterization(benchmark=benchmark)
+    result.counts = {b: {} for b in sample_bits}
+    window: deque[tuple[int, int]] = deque()
+    mem_seq = 0
+    for record in trace:
+        inst = record.inst
+        if inst.is_store:
+            window.append((mem_seq, record.mem_addr))
+            mem_seq += 1
+            while window and window[0][0] < mem_seq - lsq_size:
+                window.popleft()
+            continue
+        if not inst.is_load:
+            continue
+        mem_seq += 1
+        while window and window[0][0] < mem_seq - lsq_size:
+            window.popleft()
+        result.loads += 1
+        curve = lsd_category_curve(record.mem_addr, [a for _, a in window])
+        for b in sample_bits:
+            category = curve[b - FIRST_COMPARE_BIT]
+            bucket = result.counts[b]
+            bucket[category] = bucket.get(category, 0) + 1
+    return result
+
+
+def tag_outcome_curve(full_tag: int, resident_tags: list[int], tag_width: int) -> list[PartialTagOutcome]:
+    """Figure 4 outcomes for bits = 1..tag_width, computed in one pass."""
+    bits = np.arange(1, tag_width + 1)
+    if not resident_tags:
+        return [PartialTagOutcome.ZERO] * len(bits)
+    tags = np.asarray(resident_tags, dtype=np.uint64)
+    fdb = np.sort(first_diff_bits(full_tag, tags, mask=(1 << tag_width) - 1))
+    fdb = np.where(fdb == _FULL_BIT, tag_width, fdb)
+    # A resident matches at width b iff its first-diff bit >= b.
+    survivors = len(fdb) - np.searchsorted(fdb, bits, side="left")
+    truly_hits = full_tag in resident_tags
+    out: list[PartialTagOutcome] = []
+    for p in survivors:
+        if p == 0:
+            out.append(PartialTagOutcome.ZERO)
+        elif p > 1:
+            out.append(PartialTagOutcome.MULTI)
+        else:
+            out.append(PartialTagOutcome.SINGLE_HIT if truly_hits else PartialTagOutcome.SINGLE_MISS)
+    return out
+
+
+def characterize_tags_fast(
+    trace,
+    config: CacheConfig,
+    benchmark: str = "",
+    bits: tuple[int, ...] | None = None,
+    warmup: int = 0,
+) -> TagCharacterization:
+    """Drop-in vectorized equivalent of
+    :func:`repro.characterization.tag_char.characterize_tags`."""
+    tag_width = config.tag_bits
+    sample_bits = tuple(range(1, tag_width + 1)) if bits is None else bits
+    cache = SetAssociativeCache(config)
+    result = TagCharacterization(benchmark=benchmark, config=config)
+    result.counts = {b: {} for b in sample_bits}
+    seen = 0
+    for record in trace:
+        seen += 1
+        if record.mem_addr < 0:
+            continue
+        addr = record.mem_addr
+        if seen <= warmup:
+            cache.access(addr)
+            continue
+        _, full_tag = config.split(addr)
+        resident = cache.set_tags(addr)
+        result.accesses += 1
+        curve = tag_outcome_curve(full_tag, resident, tag_width)
+        for b in sample_bits:
+            outcome = curve[min(b, tag_width) - 1]
+            bucket = result.counts[b]
+            bucket[outcome] = bucket.get(outcome, 0) + 1
+        cache.access(addr)
+    return result

@@ -1,0 +1,102 @@
+"""Operand/result width characterization.
+
+The paper's §6 points at the narrow-width optimization of Brooks &
+Martonosi [3] and Canal/González/Smith [6]: "if an instruction is known
+to use narrow-width operands, inter-slice dependences could be relaxed
+further since the high-order register operand would be a known value of
+either all 0's or 1's."  This study quantifies the opportunity on our
+traces: for each produced result, the minimum number of slices that
+carry information (the rest being sign/zero extension), per slice
+granularity and op class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.opclass import OpClass, op_class
+
+_M = 0xFFFFFFFF
+
+
+def significant_slices(value: int, num_slices: int) -> int:
+    """Minimum low-order slices that determine *value*.
+
+    The remaining high slices are all-zeros or all-ones (a sign/zero
+    extension of the top significant slice), exactly the condition under
+    which the §6 relaxation applies.
+    """
+    if num_slices not in (1, 2, 4):
+        raise ValueError("num_slices must be 1, 2 or 4")
+    width = 32 // num_slices
+    value &= _M
+    for k in range(1, num_slices + 1):
+        bits = k * width
+        low = value & ((1 << bits) - 1)
+        if value == low:  # zero-extended
+            return k
+        sign = (low >> (bits - 1)) & 1
+        if sign and value == (low | (_M << bits)) & _M:  # sign-extended
+            return k
+    return num_slices
+
+
+@dataclass
+class WidthCharacterization:
+    """Distribution of significant result slices for one trace."""
+
+    num_slices: int = 2
+    results: int = 0
+    #: histogram: significant slice count → results.
+    histogram: Counter = field(default_factory=Counter)
+    #: per-opclass histograms.
+    by_class: dict[OpClass, Counter] = field(default_factory=dict)
+
+    def narrow_fraction(self, max_slices: int = 1) -> float:
+        """Fraction of results needing at most *max_slices* slices —
+        the §6 relaxation opportunity."""
+        if not self.results:
+            return 0.0
+        return sum(n for k, n in self.histogram.items() if k <= max_slices) / self.results
+
+    def class_narrow_fraction(self, klass: OpClass, max_slices: int = 1) -> float:
+        counts = self.by_class.get(klass)
+        if not counts:
+            return 0.0
+        total = sum(counts.values())
+        return sum(n for k, n in counts.items() if k <= max_slices) / total
+
+    def summary(self) -> str:
+        lines = [
+            f"results analyzed : {self.results} ({self.num_slices} slices of {32 // self.num_slices} bits)",
+            f"narrow (1 slice) : {self.narrow_fraction(1):.1%}",
+        ]
+        for k in range(1, self.num_slices + 1):
+            lines.append(f"  <= {k} slice(s)  : {self.narrow_fraction(k):.1%}")
+        for klass, counts in sorted(self.by_class.items(), key=lambda kv: -sum(kv[1].values())):
+            total = sum(counts.values())
+            lines.append(
+                f"  {klass.name:<12s}: {total:>7d} results, "
+                f"{self.class_narrow_fraction(klass, 1):.0%} narrow"
+            )
+        return "\n".join(lines)
+
+
+def characterize_widths(trace, num_slices: int = 2, warmup: int = 0) -> WidthCharacterization:
+    """Run the width study over *trace* (register-writing results only)."""
+    result = WidthCharacterization(num_slices=num_slices)
+    seen = 0
+    for record in trace:
+        seen += 1
+        if seen <= warmup:
+            continue
+        inst = record.inst
+        if not inst.dst_regs():
+            continue
+        klass = op_class(inst.mnemonic)
+        k = significant_slices(record.result, num_slices)
+        result.results += 1
+        result.histogram[k] += 1
+        result.by_class.setdefault(klass, Counter())[k] += 1
+    return result

@@ -1,0 +1,243 @@
+"""Machine configurations (paper Table 2 and Figure 10).
+
+Three families of configuration are evaluated:
+
+* **baseline** — the best-case machine with a single-cycle (atomic)
+  execution stage: Figure 10(a), the thin "ideal" bars of Figure 11;
+* **simple pipeline** — the EX stage pipelined into 2 or 4 stages with
+  operands still treated atomically: the bottom bars of Figure 11;
+* **bit-sliced** — the EX stage sliced, with the partial-operand
+  techniques enabled cumulatively: partial operand bypassing,
+  out-of-order slices, early branch resolution, early load–store
+  disambiguation, partial tag matching (the Figure 11/12 stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Names and order of the cumulative techniques in Figures 11 and 12.
+CUMULATIVE_TECHNIQUES: tuple[str, ...] = (
+    "simple pipelining",
+    "partial operand bypassing",
+    "out-of-order slices",
+    "early branch resolution",
+    "early l/s disambiguation",
+    "partial tag matching",
+)
+
+
+@dataclass(frozen=True)
+class Features:
+    """Partial-operand techniques (all off = simple pipelining).
+
+    The first five are the paper's evaluated ladder (Figures 11/12).
+    The last two are extensions the paper *discusses* but does not
+    evaluate, provided here for ablation studies:
+
+    * ``narrow_width_relaxation`` — §6: "if an instruction is known to
+      use narrow-width operands, inter-slice dependences could be
+      relaxed further since the high-order register operand would be a
+      known value of either all 0's or 1's".
+    * ``speculative_forwarding`` — §5.1: "we could speculatively
+      forward the store data in this case [a unique partial match]
+      with very high accuracy".
+    * ``sum_addressed_cache`` — §5.2: "Sum-addressed caches take a
+      different approach ... performing the address calculation
+      (base+offset) in the cache array decoder.  Partial tag matching
+      and sum-addressed indexing are orthogonal, and both could be
+      combined in a single design."
+    """
+
+    partial_operand_bypassing: bool = False
+    out_of_order_slices: bool = False
+    early_branch_resolution: bool = False
+    early_lsq_disambiguation: bool = False
+    partial_tag_matching: bool = False
+    # Extensions (not part of the paper's evaluated configurations).
+    narrow_width_relaxation: bool = False
+    speculative_forwarding: bool = False
+    sum_addressed_cache: bool = False
+
+    @classmethod
+    def none(cls) -> "Features":
+        return cls()
+
+    @classmethod
+    def all(cls) -> "Features":
+        """The paper's full configuration (extensions stay off)."""
+        return cls(True, True, True, True, True)
+
+    @classmethod
+    def extended(cls) -> "Features":
+        """Everything, including the discussed-but-unevaluated extensions."""
+        return cls(True, True, True, True, True, True, True, True)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description consumed by the timing simulator.
+
+    Defaults are the paper's Table 2 / Figure 10 values.
+    """
+
+    name: str = "base"
+    # Widths and windows (Table 2).
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    ruu_size: int = 64
+    lsq_size: int = 32
+    # Pipeline shape (Figure 10): stages before EX, and EX depth.
+    frontend_depth: int = 12       # Fetch1..RF2
+    dispatch_stage: int = 6        # instruction occupies the RUU from DP2
+    retire_stages: int = 2         # RE, CT
+    ex_stages: int = 1             # 1 (base), 2, 4
+    # Slicing.
+    num_slices: int = 1            # 1 = atomic operands
+    features: Features = field(default_factory=Features.none)
+    # Memory system (Table 2).
+    l1_latency: int = 1            # 2 for the slice-by-4 machine (§7.1)
+    l2_latency: int = 6
+    memory_latency: int = 100
+    # Functional units (Table 2).
+    int_alus: int = 4
+    int_mult_lat: int = 3
+    int_div_lat: int = 20
+    fp_alu_lat: int = 2
+    fp_mult_lat: int = 4
+    fp_div_lat: int = 12
+    fp_sqrt_lat: int = 24
+    # Predictor (Table 2).
+    gshare_entries: int = 64 * 1024
+    btb_entries: int = 512
+    btb_assoc: int = 4
+    ras_depth: int = 8
+    # Replay penalty charged to consumers scheduled off a wrong
+    # speculation (load-hit speculation, PTM way mispredict).
+    replay_penalty: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_slices not in (1, 2, 4):
+            raise ValueError("num_slices must be 1, 2 or 4")
+        if self.num_slices > 1 and self.ex_stages != self.num_slices:
+            raise ValueError("sliced machines have one EX stage per slice")
+
+    @property
+    def slice_bits(self) -> int:
+        return 32 // self.num_slices
+
+    @property
+    def is_sliced(self) -> bool:
+        return self.num_slices > 1 and self.features.partial_operand_bypassing
+
+
+def baseline_config() -> MachineConfig:
+    """Figure 10(a): single-cycle EX, atomic operands (the ideal bar)."""
+    return MachineConfig(name="ideal", ex_stages=1, num_slices=1)
+
+
+def simple_pipeline_config(ex_stages: int) -> MachineConfig:
+    """Pipelined EX with atomic operands (no partial-operand techniques).
+
+    The slice-by-4 machine also takes a 2-cycle L1D (paper §7.1), which
+    applies to its simple-pipelining baseline as well so the comparison
+    isolates the partial-operand techniques.
+    """
+    if ex_stages not in (2, 4):
+        raise ValueError("the paper pipelines EX into 2 or 4 stages")
+    return MachineConfig(
+        name=f"simple-pipe-{ex_stages}",
+        ex_stages=ex_stages,
+        num_slices=1,
+        l1_latency=2 if ex_stages == 4 else 1,
+    )
+
+
+def bitslice_config(num_slices: int, features: Features | None = None, name: str | None = None) -> MachineConfig:
+    """Figure 10(b)/(c): the bit-sliced machine with the given features."""
+    if num_slices not in (2, 4):
+        raise ValueError("the paper slices by 2 or by 4")
+    features = Features.all() if features is None else features
+    return MachineConfig(
+        name=name or f"bitslice-{num_slices}",
+        ex_stages=num_slices,
+        num_slices=num_slices,
+        features=features,
+        l1_latency=2 if num_slices == 4 else 1,
+    )
+
+
+def cumulative_configs(num_slices: int) -> list[tuple[str, MachineConfig]]:
+    """The Figure 11/12 ladder: simple pipelining, then each technique
+    enabled on top of the previous ones, in paper order."""
+    ladder: list[tuple[str, MachineConfig]] = [
+        (CUMULATIVE_TECHNIQUES[0], simple_pipeline_config(num_slices))
+    ]
+    feature_names = (
+        "partial_operand_bypassing",
+        "out_of_order_slices",
+        "early_branch_resolution",
+        "early_lsq_disambiguation",
+        "partial_tag_matching",
+    )
+    enabled: dict[str, bool] = {}
+    for label, field_name in zip(CUMULATIVE_TECHNIQUES[1:], feature_names):
+        enabled[field_name] = True
+        config = bitslice_config(num_slices, Features(**enabled), name=f"{num_slices}s+{field_name}")
+        ladder.append((label, config))
+    return ladder
+
+
+def _pretty_features(f: Features) -> str:
+    on = [n for n in vars(f) if getattr(f, n)]
+    return ", ".join(on) if on else "none"
+
+
+#: Table 2 as a printable mapping (used by examples and docs).
+TABLE2: dict[str, str] = {
+    "Out-of-order Execution": (
+        "4-wide fetch/issue/commit, 64-entry RUU, 32-entry LSQ, "
+        "speculative scheduling for loads, 15-stage pipeline, "
+        "no speculative load-store disambiguation"
+    ),
+    "Branch Prediction": "64K-entry gshare, 8-entry RAS, 4-way 512-entry BTB",
+    "Memory System": (
+        "L1 I$ 64KB 2-way 64B 1-cycle; L1 D$ 64KB 4-way 64B 1-cycle; "
+        "L2 unified 1MB 4-way 64B 6-cycle; main memory 100-cycle"
+    ),
+    "Functional Units": (
+        "4 integer ALUs (1-cycle), 1 integer mult/div (3/20-cycle), "
+        "4 FP ALUs (2-cycle), 1 FP mult/div/sqrt (4/12/24-cycle)"
+    ),
+}
+
+
+def describe(config: MachineConfig) -> str:
+    """One-line human-readable description of a configuration."""
+    if config.num_slices == 1 and config.ex_stages == 1:
+        shape = "atomic 1-cycle EX (ideal)"
+    elif config.num_slices == 1:
+        shape = f"pipelined EX x{config.ex_stages}, atomic operands"
+    else:
+        shape = f"bit-sliced x{config.num_slices} ({config.slice_bits}-bit slices)"
+    return f"{config.name}: {shape}; features: {_pretty_features(config.features)}"
+
+
+def with_name(config: MachineConfig, name: str) -> MachineConfig:
+    """Copy of *config* with a new display name."""
+    return replace(config, name=name)
+
+
+def pipeline_diagram(config: MachineConfig) -> str:
+    """Render the Figure 10 stage diagram of a configuration.
+
+    >>> print(pipeline_diagram(baseline_config()))
+    Fetch1 Fetch2 Dec1 Dec2 DP1 DP2 Sch1 Sch2 Sch3 Iss RF1 RF2 EX [Mem] RE CT
+    """
+    front = ["Fetch1", "Fetch2", "Dec1", "Dec2", "DP1", "DP2", "Sch1", "Sch2", "Sch3", "Iss", "RF1", "RF2"]
+    if config.ex_stages == 1:
+        ex = ["EX"]
+    else:
+        ex = [f"EX{i + 1}" for i in range(config.ex_stages)]
+    return " ".join(front + ex + ["[Mem]", "RE", "CT"])

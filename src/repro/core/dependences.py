@@ -1,0 +1,72 @@
+"""Inter-slice dependence rules (paper Figure 8).
+
+Given an operation class, these functions answer the two questions the
+slice scheduler asks per result slice *k*:
+
+1. Which **input** slices must be available before slice *k* can issue?
+2. Which of the instruction's **own** slices must have completed first
+   (the carry/shift chains)?
+
+Slice indices run low-order first (slice 0 holds bits [0, width)).
+"""
+
+from __future__ import annotations
+
+from repro.isa.opclass import OpClass
+
+
+def input_slices_needed(op_class: OpClass, k: int, num_slices: int) -> tuple[int, ...]:
+    """Input operand slices required by result slice *k*.
+
+    * LOGIC / ZERO_TEST / ARITH — slice *k* only (arithmetic gets the
+      rest of its information through the carry chain).
+    * SHIFT_LEFT — slices 0..k: left-shifted-in bits come from lower
+      input slices.
+    * SHIFT_RIGHT — slices k..S-1: right shifts pull bits downward.
+    * COMPARE / FULL / LOAD / STORE — all slices (COMPARE needs the
+      sign; FULL units collect whole operands; LOAD/STORE address
+      generation is handled as ARITH by the scheduler, this entry
+      covers their *data*/full-unit behaviour).
+    """
+    _check(k, num_slices)
+    if op_class in (OpClass.LOGIC, OpClass.ZERO_TEST, OpClass.ARITH):
+        return (k,)
+    if op_class is OpClass.SHIFT_LEFT:
+        return tuple(range(k + 1))
+    if op_class is OpClass.SHIFT_RIGHT:
+        return tuple(range(k, num_slices))
+    return tuple(range(num_slices))
+
+
+def intra_slice_dependency(op_class: OpClass, k: int, num_slices: int) -> int | None:
+    """The instruction's own slice that slice *k* must wait for, or None.
+
+    * ARITH / SHIFT_LEFT — slice *k-1* (ripple carry / shifted-in bits).
+    * SHIFT_RIGHT — slice *k+1* (the chain runs high to low).
+    * LOGIC / ZERO_TEST — none: slices are fully independent and may
+      execute out of order (paper Figure 8(c)).
+    * everything else — executes atomically, no per-slice chain.
+    """
+    _check(k, num_slices)
+    if op_class in (OpClass.ARITH, OpClass.SHIFT_LEFT):
+        return k - 1 if k > 0 else None
+    if op_class is OpClass.SHIFT_RIGHT:
+        return k + 1 if k < num_slices - 1 else None
+    return None
+
+
+def slice_issue_order(op_class: OpClass, num_slices: int) -> tuple[int, ...]:
+    """Natural issue order of slices for in-order slice execution.
+
+    Right shifts naturally evaluate high slice first; everything else
+    evaluates low first.  (With the out-of-order-slices feature the
+    scheduler ignores this order for LOGIC/ZERO_TEST.)
+    """
+    if op_class is OpClass.SHIFT_RIGHT:
+        return tuple(reversed(range(num_slices)))
+    return tuple(range(num_slices))
+
+
+def _check(k: int, num_slices: int) -> None:
+    if not 0 <= k < num_slices:
+        raise ValueError(f"slice index {k} out of range for {num_slices} slices")

@@ -1,0 +1,111 @@
+"""Exact bit-slice arithmetic.
+
+The bit-sliced machine computes each result slice in its own pipeline
+stage.  These helpers implement that computation exactly — including
+carry propagation between adder slices — so the model's slice values
+always agree with the architectural 32-bit result (verified by the
+hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+_M = 0xFFFFFFFF
+
+#: Slice counts evaluated in the paper (plus 1 = conventional atomic).
+VALID_SLICE_COUNTS = (1, 2, 4)
+
+
+def slice_width(num_slices: int) -> int:
+    """Bits per slice (32 / num_slices)."""
+    if num_slices not in VALID_SLICE_COUNTS:
+        raise ValueError(f"num_slices must be one of {VALID_SLICE_COUNTS}")
+    return WORD_BITS // num_slices
+
+
+def split_value(value: int, num_slices: int) -> tuple[int, ...]:
+    """Split a 32-bit value into *num_slices* slices, low-order first."""
+    width = slice_width(num_slices)
+    mask = (1 << width) - 1
+    value &= _M
+    return tuple((value >> (i * width)) & mask for i in range(num_slices))
+
+
+def join_slices(slices: tuple[int, ...] | list[int]) -> int:
+    """Reassemble slices (low-order first) into the 32-bit value."""
+    num = len(slices)
+    width = slice_width(num)
+    mask = (1 << width) - 1
+    value = 0
+    for i, s in enumerate(slices):
+        if s & ~mask:
+            raise ValueError(f"slice {i} overflows {width} bits: {s:#x}")
+        value |= (s & mask) << (i * width)
+    return value & _M
+
+
+def sliced_add(a: int, b: int, num_slices: int, carry_in: int = 0) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-slice ripple addition.
+
+    Returns ``(result_slices, carry_out_per_slice)``; the carry-out of
+    slice *k* is the carry-in of slice *k+1* — exactly the inter-slice
+    dependence arrow of Figure 8(b).
+    """
+    width = slice_width(num_slices)
+    mask = (1 << width) - 1
+    a_slices = split_value(a, num_slices)
+    b_slices = split_value(b, num_slices)
+    results = []
+    carries = []
+    carry = carry_in & 1
+    for k in range(num_slices):
+        total = a_slices[k] + b_slices[k] + carry
+        results.append(total & mask)
+        carry = total >> width
+        carries.append(carry)
+    return tuple(results), tuple(carries)
+
+
+def sliced_sub(a: int, b: int, num_slices: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-slice subtraction via two's complement (a + ~b + 1)."""
+    return sliced_add(a, (~b) & _M, num_slices, carry_in=1)
+
+
+def sliced_logic(op: str, a: int, b: int, num_slices: int) -> tuple[int, ...]:
+    """Per-slice logic: each result slice depends only on its own input
+    slices (Figure 8(c) — no inter-slice arrows)."""
+    a_slices = split_value(a, num_slices)
+    b_slices = split_value(b, num_slices)
+    width = slice_width(num_slices)
+    mask = (1 << width) - 1
+    if op == "and":
+        return tuple(x & y for x, y in zip(a_slices, b_slices))
+    if op == "or":
+        return tuple(x | y for x, y in zip(a_slices, b_slices))
+    if op == "xor":
+        return tuple(x ^ y for x, y in zip(a_slices, b_slices))
+    if op == "nor":
+        return tuple((~(x | y)) & mask for x, y in zip(a_slices, b_slices))
+    raise ValueError(f"unknown logic op {op!r}")
+
+
+def first_nonzero_slice(a: int, b: int, num_slices: int) -> int | None:
+    """Lowest slice index where *a* and *b* differ, or None when equal.
+
+    This is the slice whose completion resolves a ``beq``/``bne`` early
+    (paper §5.3): a per-slice XOR finding any set bit proves inequality.
+    """
+    diff = (a ^ b) & _M
+    if diff == 0:
+        return None
+    width = slice_width(num_slices)
+    lowest_bit = (diff & -diff).bit_length() - 1
+    return lowest_bit // width
+
+
+def slices_containing_difference(a: int, b: int, num_slices: int) -> tuple[int, ...]:
+    """All slice indices where *a* and *b* differ (for out-of-order
+    slice execution, any one of these resolves the inequality)."""
+    a_slices = split_value(a, num_slices)
+    b_slices = split_value(b, num_slices)
+    return tuple(k for k in range(num_slices) if a_slices[k] != b_slices[k])

@@ -1,0 +1,19 @@
+"""Functional emulator substrate.
+
+Executes assembled :class:`~repro.isa.assembler.Program` images at the
+architectural level and produces the dynamic instruction traces consumed
+by the characterization studies and the timing simulator.
+"""
+
+from repro.emulator.machine import EmulatorError, Machine
+from repro.emulator.memory import AlignmentError, SparseMemory
+from repro.emulator.trace import TraceRecord, trace_program
+
+__all__ = [
+    "AlignmentError",
+    "EmulatorError",
+    "Machine",
+    "SparseMemory",
+    "TraceRecord",
+    "trace_program",
+]

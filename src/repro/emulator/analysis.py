@@ -1,0 +1,136 @@
+"""Trace analysis utilities.
+
+Workload-validation helpers used to check that the synthetic kernels
+behave like their SPEC namesakes: instruction-mix breakdowns, register
+dependence distances (how far apart producer and consumer are — what
+determines how much a pipelined EX hurts), working-set estimation, and
+branch-behaviour summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.opclass import OpClass, op_class
+from repro.isa.registers import NUM_EXT_REGS
+
+
+@dataclass
+class TraceProfile:
+    """Aggregate statistics of one dynamic trace."""
+
+    instructions: int = 0
+    class_counts: Counter = field(default_factory=Counter)
+    mnemonic_counts: Counter = field(default_factory=Counter)
+    #: dependence distance (in dynamic instructions) histogram,
+    #: capped at 64.
+    dependence_distances: Counter = field(default_factory=Counter)
+    #: distinct 64-byte data lines touched.
+    data_lines: int = 0
+    #: distinct 64-byte instruction lines touched.
+    text_lines: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.class_counts[OpClass.LOAD] / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.class_counts[OpClass.STORE] / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken_branches / self.branches if self.branches else 0.0
+
+    @property
+    def data_working_set(self) -> int:
+        """Approximate data working set in bytes (64B line granularity)."""
+        return self.data_lines * 64
+
+    def mean_dependence_distance(self) -> float:
+        """Average producer→consumer distance (short distances are what
+        make EX-stage pipelining expensive)."""
+        total = sum(d * n for d, n in self.dependence_distances.items())
+        count = sum(self.dependence_distances.values())
+        return total / count if count else 0.0
+
+    def short_dependence_fraction(self, within: int = 2) -> float:
+        """Fraction of register reads whose producer is within *within*
+        dynamic instructions."""
+        count = sum(self.dependence_distances.values())
+        if not count:
+            return 0.0
+        short = sum(n for d, n in self.dependence_distances.items() if d <= within)
+        return short / count
+
+    def summary(self) -> str:
+        lines = [
+            f"instructions        : {self.instructions}",
+            f"loads / stores      : {self.load_fraction:.1%} / {self.store_fraction:.1%}",
+            f"branches (taken)    : {self.branch_fraction:.1%} ({self.taken_rate:.0%} taken)",
+            f"data working set    : ~{self.data_working_set // 1024} KB",
+            f"text footprint      : ~{self.text_lines * 64} B",
+            f"mean dep. distance  : {self.mean_dependence_distance():.1f} instructions",
+            f"dep. within 2 instr : {self.short_dependence_fraction(2):.1%}",
+        ]
+        top = ", ".join(f"{m} {n}" for m, n in self.mnemonic_counts.most_common(8))
+        lines.append(f"top mnemonics       : {top}")
+        return "\n".join(lines)
+
+
+def profile_trace(trace, distance_cap: int = 64) -> TraceProfile:
+    """Build a :class:`TraceProfile` from an iterable of trace records."""
+    profile = TraceProfile()
+    last_writer = [-(10**9)] * NUM_EXT_REGS
+    data_lines: set[int] = set()
+    text_lines: set[int] = set()
+    i = 0
+    for record in trace:
+        inst = record.inst
+        profile.instructions += 1
+        klass = op_class(inst.mnemonic)
+        profile.class_counts[klass] += 1
+        profile.mnemonic_counts[inst.mnemonic] += 1
+        text_lines.add(record.pc >> 6)
+        if record.mem_addr >= 0:
+            data_lines.add(record.mem_addr >> 6)
+        if inst.is_branch:
+            profile.branches += 1
+            if record.taken:
+                profile.taken_branches += 1
+        for r in inst.src_regs():
+            if r == 0:
+                continue
+            distance = i - last_writer[r]
+            if distance <= distance_cap:
+                profile.dependence_distances[distance] += 1
+            else:
+                profile.dependence_distances[distance_cap + 1] += 1
+        for r in inst.dst_regs():
+            last_writer[r] = i
+        i += 1
+    profile.data_lines = len(data_lines)
+    profile.text_lines = len(text_lines)
+    return profile
+
+
+def compare_profiles(a: TraceProfile, b: TraceProfile) -> str:
+    """Side-by-side comparison of two profiles (mix validation aid)."""
+    rows = [
+        ("loads", a.load_fraction, b.load_fraction),
+        ("stores", a.store_fraction, b.store_fraction),
+        ("branches", a.branch_fraction, b.branch_fraction),
+        ("taken rate", a.taken_rate, b.taken_rate),
+        ("short deps", a.short_dependence_fraction(2), b.short_dependence_fraction(2)),
+    ]
+    out = [f"{'metric':<12} {'A':>8} {'B':>8}"]
+    for name, va, vb in rows:
+        out.append(f"{name:<12} {va:>8.1%} {vb:>8.1%}")
+    return "\n".join(out)

@@ -1,0 +1,421 @@
+"""Architectural machine: loads a program image and executes it.
+
+The machine implements precise 32-bit PISA-like semantics: wraparound
+arithmetic, signed/unsigned compares, HI/LO multiply-divide, and no
+branch delay slots (matching SimpleScalar's simplified PISA).  Text is
+pre-decoded at load time so the interpreter loop touches only Python
+ints and the pre-built :class:`~repro.isa.instructions.Instruction`
+objects.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.emulator.memory import SparseMemory
+from repro.emulator.syscalls import SYS_EXIT, do_syscall
+from repro.emulator.trace import TraceRecord
+from repro.isa.assembler import STACK_TOP, Program
+from repro.isa.encoding import decode
+from repro.isa.registers import FCC, FP_BASE, HI, LO, NUM_EXT_REGS
+
+_M = 0xFFFFFFFF
+
+
+def f32_from_bits(bits: int) -> float:
+    """Reinterpret a 32-bit pattern as an IEEE single."""
+    return struct.unpack("<f", struct.pack("<I", bits & _M))[0]
+
+
+def bits_from_f32(value: float) -> int:
+    """Round a Python float to IEEE single and return its bit pattern."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except (OverflowError, ValueError):
+        # Magnitude beyond float32 range rounds to a signed infinity.
+        inf = math.copysign(math.inf, value)
+        return struct.unpack("<I", struct.pack("<f", inf))[0]
+
+
+class EmulatorError(RuntimeError):
+    """Raised on illegal execution (bad PC, unknown op, runaway loop)."""
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned image as a signed int."""
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+class Machine:
+    """Architectural state plus an interpreter loop.
+
+    Attributes:
+        regs: 34-entry extended register file (GPRs + HI/LO), values are
+            Python ints in ``[0, 2**32)``.
+        pc: current program counter.
+        halted: set by the exit syscall.
+        output: bytes written by print syscalls.
+        instret: retired instruction count.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.memory = SparseMemory()
+        self.memory.write_block(program.data_base, bytes(program.data))
+        text_bytes = b"".join(w.to_bytes(4, "little") for w in program.text)
+        self.memory.write_block(program.text_base, text_bytes)
+        self.decoded = [decode(w) for w in program.text]
+        self.regs: list[int] = [0] * NUM_EXT_REGS
+        self.regs[29] = STACK_TOP  # $sp
+        self.regs[28] = (program.data_base + 0x8000) & _M  # $gp convention
+        self.pc = program.entry
+        self.halted = False
+        self.exit_code = 0
+        self.output = bytearray()
+        self.instret = 0
+
+    # ------------------------------------------------------------------ fetch
+
+    def fetch(self, pc: int):
+        """Return the pre-decoded instruction at *pc*."""
+        index = (pc - self.program.text_base) >> 2
+        if pc & 3 or not 0 <= index < len(self.decoded):
+            raise EmulatorError(f"PC out of text segment: {pc:#x}")
+        return self.decoded[index]
+
+    # ------------------------------------------------------------------- step
+
+    def step(self) -> TraceRecord:
+        """Execute one instruction and return its trace record.
+
+        Raises:
+            EmulatorError: if the machine is already halted or the PC
+                leaves the text segment.
+        """
+        if self.halted:
+            raise EmulatorError("machine is halted")
+        pc = self.pc
+        inst = self.fetch(pc)
+        regs = self.regs
+        m = inst.mnemonic
+        rs_val = regs[inst.rs]
+        rt_val = regs[inst.rt]
+        next_pc = pc + 4
+        result = 0
+        mem_addr = -1
+        taken = False
+
+        if m == "addu" or m == "add":
+            result = (rs_val + rt_val) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "addiu" or m == "addi":
+            result = (rs_val + inst.imm) & _M
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lw":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = self.memory.read_word(mem_addr)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "sw":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = rt_val
+            self.memory.write_word(mem_addr, rt_val)
+        elif m == "beq":
+            taken = rs_val == rt_val
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "bne":
+            taken = rs_val != rt_val
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "subu" or m == "sub":
+            result = (rs_val - rt_val) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "and":
+            result = rs_val & rt_val
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "or":
+            result = rs_val | rt_val
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "xor":
+            result = rs_val ^ rt_val
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "nor":
+            result = ~(rs_val | rt_val) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "andi":
+            result = rs_val & (inst.imm & 0xFFFF)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "ori":
+            result = rs_val | (inst.imm & 0xFFFF)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "xori":
+            result = rs_val ^ (inst.imm & 0xFFFF)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lui":
+            result = (inst.imm & 0xFFFF) << 16
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "sll":
+            result = (rt_val << inst.shamt) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "srl":
+            result = rt_val >> inst.shamt
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "sra":
+            result = (to_signed(rt_val) >> inst.shamt) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "sllv":
+            result = (rt_val << (rs_val & 31)) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "srlv":
+            result = rt_val >> (rs_val & 31)
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "srav":
+            result = (to_signed(rt_val) >> (rs_val & 31)) & _M
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "slt":
+            result = 1 if to_signed(rs_val) < to_signed(rt_val) else 0
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "sltu":
+            result = 1 if rs_val < rt_val else 0
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "slti":
+            result = 1 if to_signed(rs_val) < inst.imm else 0
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "sltiu":
+            result = 1 if rs_val < (inst.imm & _M) else 0
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lb":
+            mem_addr = (rs_val + inst.imm) & _M
+            b = self.memory.read_byte(mem_addr)
+            result = (b - 0x100 if b & 0x80 else b) & _M
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lbu":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = self.memory.read_byte(mem_addr)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lh":
+            mem_addr = (rs_val + inst.imm) & _M
+            h = self.memory.read_half(mem_addr)
+            result = (h - 0x10000 if h & 0x8000 else h) & _M
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "lhu":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = self.memory.read_half(mem_addr)
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "sb":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = rt_val & 0xFF
+            self.memory.write_byte(mem_addr, rt_val)
+        elif m == "sh":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = rt_val & 0xFFFF
+            self.memory.write_half(mem_addr, rt_val)
+        elif m == "blez":
+            taken = to_signed(rs_val) <= 0
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "bgtz":
+            taken = to_signed(rs_val) > 0
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "bltz":
+            taken = to_signed(rs_val) < 0
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "bgez":
+            taken = to_signed(rs_val) >= 0
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "j":
+            taken = True
+            next_pc = ((pc + 4) & 0xF000_0000) | (inst.target << 2)
+        elif m == "jal":
+            taken = True
+            result = pc + 4
+            regs[31] = result
+            next_pc = ((pc + 4) & 0xF000_0000) | (inst.target << 2)
+        elif m == "jr":
+            taken = True
+            next_pc = rs_val
+        elif m == "jalr":
+            taken = True
+            result = pc + 4
+            if inst.rd:
+                regs[inst.rd] = result
+            next_pc = rs_val
+        elif m == "mult":
+            product = to_signed(rs_val) * to_signed(rt_val)
+            regs[HI] = (product >> 32) & _M
+            regs[LO] = result = product & _M
+        elif m == "multu":
+            product = rs_val * rt_val
+            regs[HI] = (product >> 32) & _M
+            regs[LO] = result = product & _M
+        elif m == "div":
+            a, b = to_signed(rs_val), to_signed(rt_val)
+            if b == 0:
+                regs[HI] = regs[LO] = 0
+            else:
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                regs[LO] = q & _M
+                regs[HI] = (a - q * b) & _M
+            result = regs[LO]
+        elif m == "divu":
+            if rt_val == 0:
+                regs[HI] = regs[LO] = 0
+            else:
+                regs[LO] = rs_val // rt_val
+                regs[HI] = rs_val % rt_val
+            result = regs[LO]
+        elif m == "mfhi":
+            result = regs[HI]
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "mflo":
+            result = regs[LO]
+            if inst.rd:
+                regs[inst.rd] = result
+        elif m == "mthi":
+            regs[HI] = result = rs_val
+        elif m == "mtlo":
+            regs[LO] = result = rs_val
+        elif m == "syscall":
+            do_syscall(self)
+            result = regs[2]
+        elif m == "break":
+            self.halted = True
+        elif m == "lwc1":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = self.memory.read_word(mem_addr)
+            regs[FP_BASE + inst.rt] = result
+        elif m == "swc1":
+            mem_addr = (rs_val + inst.imm) & _M
+            result = regs[FP_BASE + inst.rt]
+            self.memory.write_word(mem_addr, result)
+        elif m in ("add.s", "sub.s", "mul.s", "div.s"):
+            a = f32_from_bits(regs[FP_BASE + inst.rd])  # fs
+            b = f32_from_bits(regs[FP_BASE + inst.rt])  # ft
+            if m == "add.s":
+                value = a + b
+            elif m == "sub.s":
+                value = a - b
+            elif m == "mul.s":
+                value = a * b
+            elif b == 0.0:
+                # IEEE: x/0 = ±inf; 0/0 = NaN (Python would raise).
+                value = math.nan if a == 0.0 or math.isnan(a) else math.copysign(math.inf, a) * math.copysign(1.0, b)
+            else:
+                value = a / b
+            result = bits_from_f32(value)
+            regs[FP_BASE + inst.shamt] = result  # fd
+        elif m in ("sqrt.s", "abs.s", "mov.s", "neg.s"):
+            bits = regs[FP_BASE + inst.rd]
+            if m == "mov.s":
+                result = bits
+            elif m == "neg.s":
+                result = bits ^ 0x8000_0000
+            elif m == "abs.s":
+                result = bits & 0x7FFF_FFFF
+            else:
+                a = f32_from_bits(bits)
+                result = bits_from_f32(math.sqrt(a) if a >= 0 or math.isnan(a) else math.nan)
+            regs[FP_BASE + inst.shamt] = result
+        elif m == "cvt.w.s":
+            a = f32_from_bits(regs[FP_BASE + inst.rd])
+            if math.isnan(a) or math.isinf(a):
+                value = 0x7FFF_FFFF
+            else:
+                value = max(-0x8000_0000, min(0x7FFF_FFFF, int(a)))  # truncate toward zero
+            result = value & _M
+            regs[FP_BASE + inst.shamt] = result
+        elif m == "cvt.s.w":
+            raw = regs[FP_BASE + inst.rd]
+            result = bits_from_f32(float(to_signed(raw)))
+            regs[FP_BASE + inst.shamt] = result
+        elif m in ("c.eq.s", "c.lt.s", "c.le.s"):
+            a = f32_from_bits(regs[FP_BASE + inst.rd])
+            b = f32_from_bits(regs[FP_BASE + inst.rt])
+            if math.isnan(a) or math.isnan(b):
+                flag = 0  # unordered: all ordered compares are false
+            elif m == "c.eq.s":
+                flag = int(a == b)
+            elif m == "c.lt.s":
+                flag = int(a < b)
+            else:
+                flag = int(a <= b)
+            regs[FCC] = result = flag
+        elif m == "bc1t":
+            taken = regs[FCC] == 1
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "bc1f":
+            taken = regs[FCC] == 0
+            if taken:
+                next_pc = pc + 4 + (inst.imm << 2)
+        elif m == "mfc1":
+            result = regs[FP_BASE + inst.rd]
+            if inst.rt:
+                regs[inst.rt] = result
+        elif m == "mtc1":
+            regs[FP_BASE + inst.rd] = result = rt_val
+        else:  # pragma: no cover - decode guarantees known mnemonics
+            raise EmulatorError(f"unimplemented mnemonic {m!r}")
+
+        self.pc = next_pc & _M
+        self.instret += 1
+        return TraceRecord(
+            pc=pc, inst=inst, rs_val=rs_val, rt_val=rt_val,
+            result=result, mem_addr=mem_addr, taken=taken, next_pc=self.pc,
+        )
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run until halt or *max_steps*; returns instructions retired."""
+        start = self.instret
+        while not self.halted and self.instret - start < max_steps:
+            self.step()
+        return self.instret - start
+
+    def trace(self, max_steps: int = 10_000_000):
+        """Yield :class:`TraceRecord` for each retired instruction."""
+        start = self.instret
+        while not self.halted and self.instret - start < max_steps:
+            yield self.step()
+
+    @property
+    def stdout(self) -> str:
+        """Decoded output of the print syscalls."""
+        return self.output.decode("latin-1")
+
+
+__all__ = ["EmulatorError", "Machine", "to_signed", "SYS_EXIT"]

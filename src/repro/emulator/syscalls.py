@@ -1,0 +1,40 @@
+"""Minimal SPIM-style syscall layer.
+
+The workloads only need program exit and a way to report results (used
+by their self-checks): print-int, print-string, and print-char.  The
+service number is taken from ``$v0`` and the argument from ``$a0``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.emulator.machine import Machine
+
+SYS_PRINT_INT = 1
+SYS_PRINT_STRING = 4
+SYS_EXIT = 10
+SYS_PRINT_CHAR = 11
+
+
+class UnknownSyscallError(RuntimeError):
+    """Raised for a service number outside the supported set."""
+
+
+def do_syscall(machine: "Machine") -> None:
+    """Execute the syscall selected by the machine's ``$v0``."""
+    service = machine.regs[2]  # $v0
+    arg = machine.regs[4]  # $a0
+    if service == SYS_EXIT:
+        machine.halted = True
+        machine.exit_code = arg
+    elif service == SYS_PRINT_INT:
+        signed = arg - 0x1_0000_0000 if arg & 0x8000_0000 else arg
+        machine.output.extend(str(signed).encode())
+    elif service == SYS_PRINT_CHAR:
+        machine.output.append(arg & 0xFF)
+    elif service == SYS_PRINT_STRING:
+        machine.output.extend(machine.memory.read_cstring(arg))
+    else:
+        raise UnknownSyscallError(f"syscall {service} not supported")

@@ -1,0 +1,100 @@
+"""Trace serialization: pack dynamic traces into compact numpy arrays.
+
+Collecting a steady-state trace means emulating through millions of
+initialization instructions; serializing the resulting records lets a
+trace be collected once and re-simulated many times (across processes,
+parameter sweeps, CI runs).  Records pack into seven parallel ``uint32``
+/ ``int64`` arrays inside a single ``.npz`` file; instructions are
+stored as their 32-bit encodings and re-decoded on load (decode results
+are cached per unique word, so a loaded trace shares ``Instruction``
+objects exactly like a freshly generated one).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.emulator.trace import TraceRecord
+from repro.isa.encoding import decode, encode
+
+#: Format marker stored inside the file for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def pack_trace(records) -> dict[str, np.ndarray]:
+    """Pack an iterable of :class:`TraceRecord` into numpy arrays."""
+    records = list(records)
+    n = len(records)
+    pc = np.empty(n, dtype=np.uint32)
+    word = np.empty(n, dtype=np.uint32)
+    rs_val = np.empty(n, dtype=np.uint32)
+    rt_val = np.empty(n, dtype=np.uint32)
+    result = np.empty(n, dtype=np.uint32)
+    mem_addr = np.empty(n, dtype=np.int64)  # -1 sentinel needs a signed type
+    taken = np.empty(n, dtype=np.bool_)
+    next_pc = np.empty(n, dtype=np.uint32)
+    for i, r in enumerate(records):
+        pc[i] = r.pc
+        word[i] = encode(r.inst)
+        rs_val[i] = r.rs_val
+        rt_val[i] = r.rt_val
+        result[i] = r.result & 0xFFFFFFFF
+        mem_addr[i] = r.mem_addr
+        taken[i] = r.taken
+        next_pc[i] = r.next_pc
+    return {
+        "version": np.array([FORMAT_VERSION], dtype=np.uint32),
+        "pc": pc, "word": word, "rs_val": rs_val, "rt_val": rt_val,
+        "result": result, "mem_addr": mem_addr, "taken": taken, "next_pc": next_pc,
+    }
+
+
+@lru_cache(maxsize=65536)
+def _decode_cached(word: int):
+    return decode(word)
+
+
+def unpack_trace(arrays: dict[str, np.ndarray]) -> list[TraceRecord]:
+    """Rebuild :class:`TraceRecord` objects from packed arrays."""
+    version = int(arrays["version"][0])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version}")
+    out: list[TraceRecord] = []
+    pc = arrays["pc"]
+    word = arrays["word"]
+    rs_val = arrays["rs_val"]
+    rt_val = arrays["rt_val"]
+    result = arrays["result"]
+    mem_addr = arrays["mem_addr"]
+    taken = arrays["taken"]
+    next_pc = arrays["next_pc"]
+    for i in range(len(pc)):
+        out.append(
+            TraceRecord(
+                pc=int(pc[i]),
+                inst=_decode_cached(int(word[i])),
+                rs_val=int(rs_val[i]),
+                rt_val=int(rt_val[i]),
+                result=int(result[i]),
+                mem_addr=int(mem_addr[i]),
+                taken=bool(taken[i]),
+                next_pc=int(next_pc[i]),
+            )
+        )
+    return out
+
+
+def save_trace(path: str | Path, records) -> int:
+    """Write a trace to *path* (``.npz``); returns the record count."""
+    arrays = pack_trace(records)
+    np.savez_compressed(path, **arrays)
+    return len(arrays["pc"])
+
+
+def load_trace(path: str | Path) -> list[TraceRecord]:
+    """Load a trace written by :func:`save_trace`."""
+    with np.load(path) as data:
+        return unpack_trace({k: data[k] for k in data.files})

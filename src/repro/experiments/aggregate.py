@@ -1,0 +1,73 @@
+"""Cross-benchmark aggregation helpers.
+
+Speedups and IPC ratios aggregate multiplicatively, so the geometric
+mean is the right summary (arithmetic means overweight outliers); the
+paper reports arithmetic means, so both are provided and the benches
+quote whichever the paper used for each claim.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean — the right aggregate for rates like IPC when
+    benchmarks are weighted by equal instruction counts."""
+    if not values:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def speedup_summary(baseline: dict[str, float], improved: dict[str, float]) -> dict[str, float]:
+    """Per-benchmark speedups plus their aggregates.
+
+    Args:
+        baseline: benchmark → metric (e.g. IPC) for the reference config.
+        improved: benchmark → metric for the candidate config.
+
+    Returns:
+        mapping with per-benchmark ratios and ``__geomean__`` /
+        ``__mean__`` / ``__min__`` / ``__max__`` summary keys.
+    """
+    common = sorted(set(baseline) & set(improved))
+    if not common:
+        raise ValueError("no common benchmarks to summarize")
+    ratios = {name: improved[name] / baseline[name] for name in common}
+    values = list(ratios.values())
+    ratios["__geomean__"] = geometric_mean(values)
+    ratios["__mean__"] = arithmetic_mean(values)
+    ratios["__min__"] = min(values)
+    ratios["__max__"] = max(values)
+    return ratios
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:
+    """Student-t confidence interval for the mean of *values*."""
+    from scipy import stats as sps
+
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least two observations")
+    mean = arithmetic_mean(values)
+    sd = math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+    half = sps.t.ppf(0.5 + confidence / 2, df=n - 1) * sd / math.sqrt(n)
+    return mean - half, mean + half

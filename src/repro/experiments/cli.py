@@ -1,0 +1,104 @@
+"""Command-line driver: ``repro-experiment <experiment> [options]``.
+
+Examples::
+
+    repro-experiment table1
+    repro-experiment fig2 --benchmarks bzip gcc
+    repro-experiment fig11 --instructions 50000 --benchmarks li mcf
+    repro-experiment fig6 --chart
+    repro-experiment workloads --profile test
+    repro-experiment all --output results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figure1, figure2, figure4, figure6, figure11, figure12, table1, workload_table
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads.suite import PROFILES
+
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig6", "fig11", "fig12", "workloads", "all")
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate the tables and figures of 'Exploiting Partial Operand Knowledge' (ICPP 2003).",
+    )
+    p.add_argument("experiment", choices=EXPERIMENTS, help="which artifact to regenerate")
+    p.add_argument(
+        "--instructions", "-n", type=int, default=DEFAULT_INSTRUCTIONS,
+        help=f"steady-state instructions per benchmark (default {DEFAULT_INSTRUCTIONS})",
+    )
+    p.add_argument(
+        "--benchmarks", "-b", nargs="+", default=None, metavar="NAME",
+        help=f"benchmark subset (default: experiment-specific; all = {' '.join(BENCHMARK_NAMES)})",
+    )
+    p.add_argument(
+        "--profile", "-p", choices=sorted(PROFILES), default="ref",
+        help="input footprint profile (SPEC test/train/ref analogue; default ref)",
+    )
+    p.add_argument(
+        "--chart", action="store_true",
+        help="also print ASCII charts where the experiment provides them",
+    )
+    p.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="also save the experiment rows as JSON (regression baseline)",
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    n = args.instructions
+    prof = args.profile
+    benches = tuple(args.benchmarks) if args.benchmarks else None
+    for name in benches or ():
+        if name not in BENCHMARK_NAMES:
+            print(f"unknown benchmark {name!r}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
+            return 2
+
+    produced: list[tuple[str, object]] = []
+
+    def emit(name: str, result) -> None:
+        print(result.render(), end="\n\n")
+        if args.chart and hasattr(result, "render_chart"):
+            print(result.render_chart(), end="\n\n")
+        produced.append((name, result))
+
+    if args.experiment in ("table1", "all"):
+        emit("table1", table1.run(benches or BENCHMARK_NAMES, n, profile=prof))
+    if args.experiment == "fig1":
+        emit("fig1", figure1.run())
+    if args.experiment in ("fig2", "all"):
+        emit("fig2", figure2.run(benches or figure2.FIGURE2_BENCHMARKS, n, profile=prof))
+    if args.experiment in ("fig4", "all"):
+        emit("fig4", figure4.run(n, profile=prof))
+    if args.experiment in ("fig6", "all"):
+        emit("fig6", figure6.run(benches or BENCHMARK_NAMES, n, profile=prof))
+    if args.experiment in ("fig11", "fig12", "all"):
+        base = figure11.run(benches or BENCHMARK_NAMES, n, profile=prof)
+        if args.experiment in ("fig11", "all"):
+            emit("fig11", base)
+        if args.experiment in ("fig12", "all"):
+            emit("fig12", figure12.run(base=base))
+    if args.experiment in ("workloads", "all"):
+        emit("workloads", workload_table.run(benches or BENCHMARK_NAMES, n, profile=prof))
+
+    if args.output and produced:
+        from repro.experiments.results_io import save_rows
+
+        name, result = produced[-1] if len(produced) == 1 else ("all", produced[-1][1])
+        # For multi-experiment runs, save the last result's rows; the
+        # per-experiment form is the intended regression unit.
+        save_rows(args.output, name, result.rows(), metadata={"instructions": n, "profile": prof})
+        print(f"rows saved to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

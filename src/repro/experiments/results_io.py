@@ -1,0 +1,109 @@
+"""Experiment-result serialization and regression comparison.
+
+Every experiment result exposes ``rows()``; this module captures those
+rows (plus metadata) as JSON so runs can be archived and later runs
+diffed against a stored baseline — the regression-tracking loop for a
+simulator codebase: run, archive, change code, re-run, compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+FORMAT_VERSION = 1
+
+
+def rows_to_json(experiment: str, rows, metadata: dict | None = None) -> str:
+    """Serialize an experiment's rows.
+
+    Rows may be dataclasses, tuples or lists of JSON-compatible scalars
+    (enum values should be pre-stringified by the experiment's rows()).
+    """
+    def normalize(row):
+        if hasattr(row, "__dataclass_fields__"):
+            from dataclasses import asdict
+
+            return asdict(row)
+        return list(row)
+
+    payload = {
+        "format": FORMAT_VERSION,
+        "experiment": experiment,
+        "metadata": metadata or {},
+        "rows": [normalize(r) for r in rows],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def save_rows(path: str | Path, experiment: str, rows, metadata: dict | None = None) -> None:
+    Path(path).write_text(rows_to_json(experiment, rows, metadata))
+
+
+def load_rows(path: str | Path) -> dict:
+    """Load a result file; returns the full payload dict."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format {payload.get('format')}")
+    return payload
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved beyond tolerance between two runs."""
+
+    key: str
+    baseline: float
+    current: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.baseline:.4f} -> {self.current:.4f} ({self.relative_change:+.1%})"
+
+
+def _metric_map(payload: dict) -> dict[str, float]:
+    """Flatten rows into key → numeric metric.
+
+    The last numeric field of each row is treated as the metric and the
+    preceding fields as its identity — the convention all experiment
+    ``rows()`` follow ((benchmark, ..., value)).
+    """
+    metrics: dict[str, float] = {}
+    for row in payload["rows"]:
+        if isinstance(row, dict):
+            items = list(row.items())
+            ident = [f"{k}={v}" for k, v in items if not isinstance(v, (int, float)) or isinstance(v, bool)]
+            nums = [(k, v) for k, v in items if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            for k, v in nums:
+                metrics["|".join(ident + [k])] = float(v)
+        else:
+            *ident, value = row
+            if isinstance(value, (int, float)):
+                metrics["|".join(str(i) for i in ident)] = float(value)
+    return metrics
+
+
+def compare_results(
+    baseline: dict, current: dict, tolerance: float = 0.05
+) -> list[Regression]:
+    """Metrics that moved more than *tolerance* (relative) between runs.
+
+    Metrics present in only one run are reported with the other side as
+    0 — additions and removals both surface.
+    """
+    base_metrics = _metric_map(baseline)
+    cur_metrics = _metric_map(current)
+    out: list[Regression] = []
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        b = base_metrics.get(key, 0.0)
+        c = cur_metrics.get(key, 0.0)
+        denom = max(abs(b), abs(c), 1e-12)
+        if abs(c - b) / denom > tolerance:
+            out.append(Regression(key=key, baseline=b, current=c))
+    return out

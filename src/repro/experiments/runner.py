@@ -1,0 +1,64 @@
+"""Shared experiment infrastructure: trace collection and config sweeps.
+
+Emulating a workload dominates experiment wall-clock, so the dynamic
+trace (a list of immutable :class:`TraceRecord`) is collected once per
+(benchmark, length) and replayed across every machine configuration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.config import MachineConfig
+from repro.emulator.trace import TraceRecord
+from repro.timing.simulator import simulate
+from repro.timing.stats import SimStats
+from repro.workloads import get_workload
+
+#: Default steady-state window for timing experiments.  Small enough
+#: for pure-Python simulation, long enough for stable IPC (the paper
+#: used 500M-instruction windows on native simulators).
+DEFAULT_INSTRUCTIONS = 30_000
+
+#: Instructions simulated (but not measured) before the IPC window to
+#: warm caches and predictors.
+DEFAULT_WARMUP = 10_000
+
+
+@lru_cache(maxsize=32)
+def _collect(
+    name: str, max_steps: int, iters: int | None, skip: int | None, profile: str
+) -> tuple[TraceRecord, ...]:
+    workload = get_workload(name)
+    return tuple(workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile))
+
+
+def collect_trace(
+    name: str,
+    max_steps: int = DEFAULT_INSTRUCTIONS,
+    iters: int | None = None,
+    skip: int | None = None,
+    profile: str = "ref",
+) -> tuple[TraceRecord, ...]:
+    """Steady-state dynamic trace of benchmark *name* (cached).
+
+    *profile* selects the input footprint (test/train/ref, the SPEC
+    input-set analogue).
+    """
+    return _collect(name, max_steps, iters, skip, profile)
+
+
+def sweep_configs(
+    name: str,
+    configs: list[MachineConfig],
+    max_steps: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> list[SimStats]:
+    """Run every configuration over the same trace of one benchmark."""
+    trace = collect_trace(name, max_steps + warmup)
+    return [simulate(config, trace, warmup=warmup) for config in configs]
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces (mainly for tests managing memory)."""
+    _collect.cache_clear()

@@ -1,0 +1,67 @@
+"""Table 1: baseline benchmark characteristics.
+
+For every benchmark: baseline IPC (non-pipelined EX, the paper's base
+machine), the fraction of dynamic instructions that are loads, and the
+conditional-branch prediction accuracy of the Table 2 front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import baseline_config
+from repro.experiments.report import render_table
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, collect_trace
+from repro.timing.simulator import simulate
+from repro.workloads import BENCHMARK_NAMES
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    benchmark: str
+    instructions: int
+    ipc: float
+    load_fraction: float
+    branch_accuracy: float
+
+
+@dataclass
+class Table1Result:
+    rows_: list[Table1Row]
+
+    def rows(self) -> list[Table1Row]:
+        return self.rows_
+
+    def render(self) -> str:
+        return render_table(
+            ["Benchmark", "Simulated Instr", "IPC", "% Loads", "Branch Accuracy"],
+            [
+                (r.benchmark, r.instructions, f"{r.ipc:.2f}", f"{r.load_fraction:.1%}", f"{r.branch_accuracy:.0%}")
+                for r in self.rows_
+            ],
+            title="Table 1: Benchmark Programs Simulated (baseline machine)",
+        )
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_NAMES,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    profile: str = "ref",
+) -> Table1Result:
+    """Regenerate Table 1 on the baseline (ideal-EX) machine."""
+    config = baseline_config()
+    rows = []
+    for name in benchmarks:
+        trace = collect_trace(name, instructions + warmup, profile=profile)
+        stats = simulate(config, trace, warmup=warmup)
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                instructions=stats.instructions,
+                ipc=stats.ipc,
+                load_fraction=stats.load_fraction,
+                branch_accuracy=stats.branch_accuracy,
+            )
+        )
+    return Table1Result(rows)

@@ -1,0 +1,32 @@
+"""ISA substrate: a PISA-like 32-bit MIPS-style instruction set.
+
+The paper's evaluation uses the SimpleScalar PISA instruction set.  This
+package provides a from-scratch equivalent: register conventions
+(:mod:`repro.isa.registers`), binary encodings (:mod:`repro.isa.encoding`),
+a decoded-instruction IR (:mod:`repro.isa.instructions`), a two-pass
+assembler (:mod:`repro.isa.assembler`), a disassembler
+(:mod:`repro.isa.disassembler`) and the operation classification used by
+the bit-slice scheduler (:mod:`repro.isa.opclass`).
+"""
+
+from repro.isa.assembler import AssemblerError, Program, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction
+from repro.isa.opclass import OpClass, op_class
+from repro.isa.registers import REG_NAMES, reg_name, reg_num
+
+__all__ = [
+    "AssemblerError",
+    "Instruction",
+    "OpClass",
+    "Program",
+    "REG_NAMES",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "op_class",
+    "reg_name",
+    "reg_num",
+]

@@ -1,0 +1,95 @@
+"""Disassembler: decoded instructions back to canonical assembly text.
+
+Primarily used for debugging, trace dumps and the encode/decode/format
+round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import (
+    BRANCH1_OPS,
+    BRANCH2_OPS,
+    FP2_OPS,
+    FP3_OPS,
+    FP_BRANCH_OPS,
+    FP_CMP_OPS,
+    I_ALU_OPS,
+    LOAD_OPS,
+    MULTDIV_OPS,
+    R3_OPS,
+    RC_SHIFT_OPS,
+    RV_SHIFT_OPS,
+    STORE_OPS,
+    Instruction,
+)
+from repro.isa.registers import fp_reg_name, reg_name
+
+
+def format_instruction(inst: Instruction, pc: int | None = None) -> str:
+    """Render *inst* as canonical assembly.
+
+    When *pc* is given, branch offsets are rendered as absolute hex
+    targets; otherwise as relative word offsets.
+    """
+    m = inst.mnemonic
+    r = reg_name
+    if inst.is_nop:
+        return "nop"
+    if m in R3_OPS:
+        return f"{m} {r(inst.rd)}, {r(inst.rs)}, {r(inst.rt)}"
+    if m in RV_SHIFT_OPS:
+        return f"{m} {r(inst.rd)}, {r(inst.rt)}, {r(inst.rs)}"
+    if m in RC_SHIFT_OPS:
+        return f"{m} {r(inst.rd)}, {r(inst.rt)}, {inst.shamt}"
+    if m in I_ALU_OPS:
+        return f"{m} {r(inst.rt)}, {r(inst.rs)}, {inst.imm}"
+    if m == "lui":
+        return f"lui {r(inst.rt)}, {inst.imm & 0xFFFF:#x}"
+    if m in ("lwc1", "swc1"):
+        return f"{m} {fp_reg_name(inst.rt)}, {inst.imm}({r(inst.rs)})"
+    if m in LOAD_OPS | STORE_OPS:
+        return f"{m} {r(inst.rt)}, {inst.imm}({r(inst.rs)})"
+    if m in FP3_OPS:
+        return f"{m} {fp_reg_name(inst.shamt)}, {fp_reg_name(inst.rd)}, {fp_reg_name(inst.rt)}"
+    if m in FP2_OPS:
+        return f"{m} {fp_reg_name(inst.shamt)}, {fp_reg_name(inst.rd)}"
+    if m in FP_CMP_OPS:
+        return f"{m} {fp_reg_name(inst.rd)}, {fp_reg_name(inst.rt)}"
+    if m in FP_BRANCH_OPS:
+        return f"{m} {_branch_target(inst, pc)}"
+    if m in ("mfc1", "mtc1"):
+        return f"{m} {r(inst.rt)}, {fp_reg_name(inst.rd)}"
+    if m in BRANCH2_OPS:
+        return f"{m} {r(inst.rs)}, {r(inst.rt)}, {_branch_target(inst, pc)}"
+    if m in BRANCH1_OPS:
+        return f"{m} {r(inst.rs)}, {_branch_target(inst, pc)}"
+    if m in ("j", "jal"):
+        return f"{m} {inst.target << 2:#x}"
+    if m == "jr":
+        return f"jr {r(inst.rs)}"
+    if m == "jalr":
+        return f"jalr {r(inst.rd)}, {r(inst.rs)}"
+    if m in MULTDIV_OPS:
+        return f"{m} {r(inst.rs)}, {r(inst.rt)}"
+    if m in ("mfhi", "mflo"):
+        return f"{m} {r(inst.rd)}"
+    if m in ("mthi", "mtlo"):
+        return f"{m} {r(inst.rs)}"
+    return m
+
+
+def _branch_target(inst: Instruction, pc: int | None) -> str:
+    if pc is None:
+        return f".{inst.imm * 4:+d}"
+    return f"{pc + 4 + inst.imm * 4:#x}"
+
+
+def disassemble(word: int, pc: int | None = None) -> str:
+    """Decode and format one 32-bit instruction word."""
+    return format_instruction(decode(word), pc)
+
+
+def disassemble_program(words: list[int], base: int) -> list[str]:
+    """Disassemble a text segment into ``addr: text`` lines."""
+    return [f"{base + 4 * i:#010x}: {disassemble(w, base + 4 * i)}" for i, w in enumerate(words)]

@@ -1,0 +1,196 @@
+"""Binary instruction encodings for the PISA-like ISA.
+
+Instructions are fixed 32-bit words in three MIPS-style formats:
+
+* **R-type** — ``op=0`` plus a 6-bit function code; register-register
+  arithmetic/logic, shifts, jumps through registers, HI/LO moves and
+  ``syscall``/``break``.
+* **I-type** — a 16-bit immediate; immediate arithmetic/logic, loads,
+  stores, and conditional branches (including the ``REGIMM`` group that
+  encodes ``bltz``/``bgez`` in the ``rt`` field).
+* **J-type** — a 26-bit word target for ``j``/``jal``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+
+#: I-type and J-type opcode numbers by mnemonic.
+OPCODES: dict[str, int] = {
+    "j": 2, "jal": 3,
+    "beq": 4, "bne": 5, "blez": 6, "bgtz": 7,
+    "addi": 8, "addiu": 9, "slti": 10, "sltiu": 11,
+    "andi": 12, "ori": 13, "xori": 14, "lui": 15,
+    "lb": 32, "lh": 33, "lw": 35, "lbu": 36, "lhu": 37,
+    "sb": 40, "sh": 41, "sw": 43,
+    "lwc1": 49, "swc1": 57,
+}
+
+#: COP1 opcode and its sub-format codes (the ``rs`` field).
+COP1_OP = 17
+FMT_S = 16   # single-precision arithmetic
+FMT_W = 20   # fixed-point (word) source for conversions
+COP1_MFC1 = 0
+COP1_MTC1 = 4
+COP1_BC1 = 8
+
+#: Single-precision (fmt S) function codes.  Fields: fmt=rs, ft=rt,
+#: fs=rd, fd=shamt, funct = low 6 bits.
+FP_S_FUNCTS: dict[str, int] = {
+    "add.s": 0, "sub.s": 1, "mul.s": 2, "div.s": 3,
+    "sqrt.s": 4, "abs.s": 5, "mov.s": 6, "neg.s": 7,
+    "cvt.w.s": 36,
+    "c.eq.s": 50, "c.lt.s": 60, "c.le.s": 62,
+}
+
+#: Word-format (fmt W) function codes.
+FP_W_FUNCTS: dict[str, int] = {"cvt.s.w": 32}
+
+#: All COP1 mnemonics.
+FP_MNEMONICS: frozenset[str] = (
+    frozenset(FP_S_FUNCTS) | frozenset(FP_W_FUNCTS)
+    | frozenset({"mfc1", "mtc1", "bc1t", "bc1f", "lwc1", "swc1"})
+)
+
+#: R-type function codes by mnemonic (all have opcode 0).
+FUNCTS: dict[str, int] = {
+    "sll": 0, "srl": 2, "sra": 3, "sllv": 4, "srlv": 6, "srav": 7,
+    "jr": 8, "jalr": 9, "syscall": 12, "break": 13,
+    "mfhi": 16, "mthi": 17, "mflo": 18, "mtlo": 19,
+    "mult": 24, "multu": 25, "div": 26, "divu": 27,
+    "add": 32, "addu": 33, "sub": 34, "subu": 35,
+    "and": 36, "or": 37, "xor": 38, "nor": 39,
+    "slt": 42, "sltu": 43,
+}
+
+#: REGIMM (opcode 1) ``rt``-field codes.
+REGIMM: dict[str, int] = {"bltz": 0, "bgez": 1}
+
+_OP_TO_MNEMONIC = {v: k for k, v in OPCODES.items()}
+_FUNCT_TO_MNEMONIC = {v: k for k, v in FUNCTS.items()}
+_REGIMM_TO_MNEMONIC = {v: k for k, v in REGIMM.items()}
+_FP_S_TO_MNEMONIC = {v: k for k, v in FP_S_FUNCTS.items()}
+_FP_W_TO_MNEMONIC = {v: k for k, v in FP_W_FUNCTS.items()}
+
+#: Mnemonics whose 16-bit immediate is zero-extended rather than
+#: sign-extended when executed.
+ZERO_EXTEND_IMM: frozenset[str] = frozenset({"andi", "ori", "xori"})
+
+#: All hardware mnemonics (pseudo-instructions expand to these).
+ALL_MNEMONICS: frozenset[str] = (
+    frozenset(OPCODES) | frozenset(FUNCTS) | frozenset(REGIMM) | FP_MNEMONICS
+)
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _u16(value: int) -> int:
+    """Clamp a signed or unsigned immediate into its 16-bit field image."""
+    if not -0x8000 <= value <= 0xFFFF:
+        raise EncodingError(f"immediate out of 16-bit range: {value}")
+    return value & 0xFFFF
+
+
+def encode(inst: Instruction) -> int:
+    """Encode a decoded :class:`Instruction` into its 32-bit word."""
+    m = inst.mnemonic
+    if m in FP_S_FUNCTS or m in FP_W_FUNCTS:
+        fmt = FMT_S if m in FP_S_FUNCTS else FMT_W
+        funct = FP_S_FUNCTS.get(m, FP_W_FUNCTS.get(m))
+        return (
+            (COP1_OP << 26) | (fmt << 21) | (inst.rt << 16)
+            | (inst.rd << 11) | ((inst.shamt & 0x1F) << 6) | funct
+        )
+    if m == "mfc1":
+        return (COP1_OP << 26) | (COP1_MFC1 << 21) | (inst.rt << 16) | (inst.rd << 11)
+    if m == "mtc1":
+        return (COP1_OP << 26) | (COP1_MTC1 << 21) | (inst.rt << 16) | (inst.rd << 11)
+    if m in ("bc1f", "bc1t"):
+        tf = 1 if m == "bc1t" else 0
+        return (COP1_OP << 26) | (COP1_BC1 << 21) | (tf << 16) | _u16(inst.imm)
+    if m in FUNCTS:
+        word = (
+            (inst.rs << 21)
+            | (inst.rt << 16)
+            | (inst.rd << 11)
+            | ((inst.shamt & 0x1F) << 6)
+            | FUNCTS[m]
+        )
+        return word
+    if m in REGIMM:
+        return (1 << 26) | (inst.rs << 21) | (REGIMM[m] << 16) | _u16(inst.imm)
+    if m in ("j", "jal"):
+        if not 0 <= inst.target < (1 << 26):
+            raise EncodingError(f"jump target out of range: {inst.target}")
+        return (OPCODES[m] << 26) | inst.target
+    if m in OPCODES:
+        return (OPCODES[m] << 26) | (inst.rs << 21) | (inst.rt << 16) | _u16(inst.imm)
+    raise EncodingError(f"unknown mnemonic {m!r}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word into an :class:`Instruction`.
+
+    Branch and memory immediates are sign-extended; the logical
+    immediates (``andi``/``ori``/``xori``) are kept zero-extended, which
+    matches how the execution stage consumes them.
+    """
+    word &= 0xFFFFFFFF
+    op = word >> 26
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    imm16 = word & 0xFFFF
+    if op == 0:
+        funct = word & 0x3F
+        try:
+            m = _FUNCT_TO_MNEMONIC[funct]
+        except KeyError:
+            raise EncodingError(f"unknown R-type funct {funct}") from None
+        rd = (word >> 11) & 0x1F
+        shamt = (word >> 6) & 0x1F
+        return Instruction(m, rs=rs, rt=rt, rd=rd, shamt=shamt)
+    if op == 1:
+        try:
+            m = _REGIMM_TO_MNEMONIC[rt]
+        except KeyError:
+            raise EncodingError(f"unknown REGIMM code {rt}") from None
+        return Instruction(m, rs=rs, imm=_sext16(imm16))
+    if op in (2, 3):
+        return Instruction(_OP_TO_MNEMONIC[op], target=word & 0x3FFFFFF)
+    if op == COP1_OP:
+        fmt = rs
+        rd = (word >> 11) & 0x1F
+        shamt = (word >> 6) & 0x1F
+        funct = word & 0x3F
+        if fmt == FMT_S:
+            try:
+                m = _FP_S_TO_MNEMONIC[funct]
+            except KeyError:
+                raise EncodingError(f"unknown FP.S funct {funct}") from None
+            return Instruction(m, rs=fmt, rt=rt, rd=rd, shamt=shamt)
+        if fmt == FMT_W:
+            try:
+                m = _FP_W_TO_MNEMONIC[funct]
+            except KeyError:
+                raise EncodingError(f"unknown FP.W funct {funct}") from None
+            return Instruction(m, rs=fmt, rt=rt, rd=rd, shamt=shamt)
+        if fmt == COP1_MFC1:
+            return Instruction("mfc1", rt=rt, rd=rd)
+        if fmt == COP1_MTC1:
+            return Instruction("mtc1", rt=rt, rd=rd)
+        if fmt == COP1_BC1:
+            return Instruction("bc1t" if rt & 1 else "bc1f", imm=_sext16(imm16))
+        raise EncodingError(f"unknown COP1 format {fmt}")
+    try:
+        m = _OP_TO_MNEMONIC[op]
+    except KeyError:
+        raise EncodingError(f"unknown opcode {op}") from None
+    imm = imm16 if m in ZERO_EXTEND_IMM or m == "lui" else _sext16(imm16)
+    return Instruction(m, rs=rs, rt=rt, imm=imm)
+
+
+def _sext16(value: int) -> int:
+    """Sign-extend a 16-bit field image to a Python int."""
+    return value - 0x10000 if value & 0x8000 else value

@@ -1,0 +1,109 @@
+"""Operation classification for bit-slice scheduling (paper Figure 8).
+
+The bit-sliced microarchitecture tracks dependences at slice
+granularity.  How slices of one instruction depend on each other is a
+property of the operation:
+
+* :attr:`OpClass.LOGIC` — no inter-slice communication; slices may
+  execute out of order (``and``, ``or``, ``xor``, ``nor``, ``lui``,
+  immediate forms).
+* :attr:`OpClass.ARITH` — a carry ripples from the low slice upward;
+  slice *k* additionally depends on the instruction's own slice *k-1*
+  (``add``/``sub`` families, and address generation for loads/stores).
+* :attr:`OpClass.SHIFT_LEFT` / :attr:`OpClass.SHIFT_RIGHT` — shifted-in
+  bits cross slice boundaries: left shifts propagate low→high like a
+  carry, right shifts high→low (paper §6: "Shift instructions require
+  that more than just a single bit be communicated across slices").
+* :attr:`OpClass.COMPARE` — set-less-than and the sign-testing branches
+  need the sign bit, i.e. the full operands, before any result bit is
+  known.
+* :attr:`OpClass.FULL` — multiply/divide and other units that collect
+  all operand slices and then compute atomically.
+* :attr:`OpClass.ZERO_TEST` — ``beq``/``bne``: each slice can be
+  compared independently (a per-slice XOR/OR reduction), which is what
+  enables early branch resolution (paper §5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa import instructions as ii
+
+
+class OpClass(enum.Enum):
+    """Inter-slice dependence class of an operation."""
+
+    LOGIC = "logic"
+    ARITH = "arith"
+    SHIFT_LEFT = "shift_left"
+    SHIFT_RIGHT = "shift_right"
+    COMPARE = "compare"
+    ZERO_TEST = "zero_test"
+    FULL = "full"
+    LOAD = "load"
+    STORE = "store"
+    JUMP = "jump"
+    SYSCALL = "syscall"
+    NOP = "nop"
+
+
+_TABLE: dict[str, OpClass] = {}
+for _m in ("and", "or", "xor", "nor", "andi", "ori", "xori", "lui"):
+    _TABLE[_m] = OpClass.LOGIC
+for _m in ("add", "addu", "sub", "subu", "addi", "addiu"):
+    _TABLE[_m] = OpClass.ARITH
+for _m in ("sll", "sllv"):
+    _TABLE[_m] = OpClass.SHIFT_LEFT
+for _m in ("srl", "sra", "srlv", "srav"):
+    _TABLE[_m] = OpClass.SHIFT_RIGHT
+for _m in ("slt", "slti", "sltu", "sltiu"):
+    _TABLE[_m] = OpClass.COMPARE
+for _m in ("beq", "bne"):
+    _TABLE[_m] = OpClass.ZERO_TEST
+for _m in ("blez", "bgtz", "bltz", "bgez"):
+    _TABLE[_m] = OpClass.COMPARE
+for _m in ii.MULTDIV_OPS | {"mfhi", "mflo", "mthi", "mtlo"}:
+    _TABLE[_m] = OpClass.FULL
+# Floating point: §6 — "division and floating-point instructions
+# require all bits to be produced before starting their execution.
+# For these cases, a full 32-bit unit is needed."
+for _m in ii.FP3_OPS | ii.FP2_OPS | ii.FP_CMP_OPS | {"mfc1", "mtc1"}:
+    _TABLE[_m] = OpClass.FULL
+for _m in ii.FP_BRANCH_OPS:
+    _TABLE[_m] = OpClass.COMPARE
+for _m in ii.LOAD_OPS:
+    _TABLE[_m] = OpClass.LOAD
+for _m in ii.STORE_OPS:
+    _TABLE[_m] = OpClass.STORE
+for _m in ii.JUMP_OPS:
+    _TABLE[_m] = OpClass.JUMP
+_TABLE["syscall"] = OpClass.SYSCALL
+_TABLE["break"] = OpClass.SYSCALL
+
+
+def op_class(mnemonic: str) -> OpClass:
+    """Return the :class:`OpClass` of a hardware mnemonic."""
+    try:
+        return _TABLE[mnemonic]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+#: Classes whose slices can begin before all input slices are known.
+SLICEABLE: frozenset[OpClass] = frozenset(
+    {
+        OpClass.LOGIC,
+        OpClass.ARITH,
+        OpClass.SHIFT_LEFT,
+        OpClass.SHIFT_RIGHT,
+        OpClass.ZERO_TEST,
+        OpClass.LOAD,   # address generation slices like ARITH
+        OpClass.STORE,  # likewise
+    }
+)
+
+
+def is_sliceable(mnemonic: str) -> bool:
+    """True when the op's execution can be decomposed across slices."""
+    return op_class(mnemonic) in SLICEABLE

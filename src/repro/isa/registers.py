@@ -1,0 +1,80 @@
+"""Register file conventions for the PISA-like ISA.
+
+Thirty-two 32-bit general purpose registers with the standard MIPS
+calling-convention aliases, plus the HI/LO multiply/divide registers.
+Register ``$0`` (``$zero``) is hardwired to zero.
+"""
+
+from __future__ import annotations
+
+#: Canonical ABI names for registers 0..31, in numeric order.
+REG_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Number of general-purpose registers.
+NUM_REGS: int = 32
+
+#: Indices of the HI and LO special registers in the extended register
+#: file used by the emulator (they sit just past the 32 GPRs).
+HI: int = 32
+LO: int = 33
+
+#: First extended index of the floating-point register file ($f0..$f31
+#: store raw single-precision bit patterns).
+FP_BASE: int = 34
+
+#: Extended index of the FP condition flag (set by c.eq.s/c.lt.s/c.le.s,
+#: read by bc1t/bc1f).
+FCC: int = FP_BASE + 32
+
+#: Total extended register file size (GPRs + HI/LO + FPRs + FCC).
+NUM_EXT_REGS: int = FCC + 1
+
+_NAME_TO_NUM: dict[str, int] = {name: i for i, name in enumerate(REG_NAMES)}
+_NAME_TO_NUM.update({f"r{i}": i for i in range(NUM_REGS)})
+_NAME_TO_NUM.update({str(i): i for i in range(NUM_REGS)})
+_NAME_TO_NUM["s8"] = 30  # $fp alias
+
+
+def reg_num(name: str) -> int:
+    """Parse a register reference (``$t0``, ``$8``, ``t0``, ``r8``) to its number.
+
+    Raises:
+        ValueError: if the name does not denote a register.
+    """
+    key = name.strip().lstrip("$").lower()
+    try:
+        return _NAME_TO_NUM[key]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical ``$``-prefixed ABI name for register *num*."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return f"${REG_NAMES[num]}"
+
+
+def fp_reg_num(name: str) -> int:
+    """Parse an FP register reference (``$f0``..``$f31``) to 0..31."""
+    key = name.strip().lstrip("$").lower()
+    if key.startswith("f"):
+        try:
+            num = int(key[1:])
+        except ValueError:
+            raise ValueError(f"unknown FP register {name!r}") from None
+        if 0 <= num < 32:
+            return num
+    raise ValueError(f"unknown FP register {name!r}")
+
+
+def fp_reg_name(num: int) -> str:
+    """Return the ``$f``-prefixed name for FP register *num*."""
+    if not 0 <= num < 32:
+        raise ValueError(f"FP register number out of range: {num}")
+    return f"$f{num}"

@@ -1,0 +1,23 @@
+"""Load/store queue substrate with partial-address disambiguation.
+
+Implements the 32-entry unified LSQ of Table 2 and the bit-serial
+early load–store disambiguation of paper §5.1 / Figure 2.
+"""
+
+from repro.lsq.disambiguation import (
+    FIRST_COMPARE_BIT,
+    LSDCategory,
+    bits_to_disambiguate,
+    classify_disambiguation,
+)
+from repro.lsq.queue import LoadStoreQueue, LSQEntry, PartialSearchResult
+
+__all__ = [
+    "FIRST_COMPARE_BIT",
+    "LSDCategory",
+    "LSQEntry",
+    "LoadStoreQueue",
+    "PartialSearchResult",
+    "bits_to_disambiguate",
+    "classify_disambiguation",
+]

@@ -1,0 +1,104 @@
+"""Bit-serial load–store disambiguation (paper §5.1, Figure 2).
+
+A load entering the LSQ compares its address against all prior stores
+serially from bit 2 upward (bits 0–1 select bytes within a word and do
+not participate).  At any partial width the comparison lands in one of
+the paper's categories; Figure 2 shows how quickly loads converge to
+"zero entries match" (safe to issue past all stores) or a unique
+forwarding candidate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+#: Byte-offset bits are excluded from the comparison (paper starts at bit 2).
+FIRST_COMPARE_BIT = 2
+
+#: The last address bit (paper: "until we reach the 31st bit").
+LAST_COMPARE_BIT = 31
+
+
+class LSDCategory(enum.Enum):
+    """Figure 2 legend categories."""
+
+    NO_STORES = "no stores in queue"
+    ZERO_MATCH = "zero entries match"
+    SINGLE_NONMATCH = "single entry - non-match"
+    SINGLE_MATCH_ONE_STORE = "single entry - match (one store)"
+    SINGLE_MATCH_MULT_STORES = "single entry - match (mult stores)"
+    MULTI_SAME_ADDR = "mult entries match - same addr"
+    MULTI_DIFF_ADDR = "mult entries match - diff addr"
+
+
+#: Categories in which the store must (eventually) forward to the load.
+FORWARDING_CATEGORIES = frozenset(
+    {LSDCategory.SINGLE_MATCH_ONE_STORE, LSDCategory.SINGLE_MATCH_MULT_STORES, LSDCategory.MULTI_SAME_ADDR}
+)
+
+
+def _mask_through(high_bit: int) -> int:
+    """Mask selecting bits FIRST_COMPARE_BIT..high_bit inclusive."""
+    return ((1 << (high_bit + 1)) - 1) & ~((1 << FIRST_COMPARE_BIT) - 1)
+
+
+def classify_disambiguation(load_addr: int, store_addrs: Sequence[int], high_bit: int) -> LSDCategory:
+    """Classify the comparison using bits ``[2, high_bit]`` of the addresses.
+
+    Args:
+        load_addr: the load's effective address.
+        store_addrs: addresses of all *prior* stores in the queue
+            (assumed known, as in the paper's characterization).
+        high_bit: highest address bit examined so far (2..31);
+            31 is the conventional full comparison.
+    """
+    if not FIRST_COMPARE_BIT <= high_bit <= LAST_COMPARE_BIT:
+        raise ValueError(f"high_bit must be in [2, 31], got {high_bit}")
+    if not store_addrs:
+        return LSDCategory.NO_STORES
+    mask = _mask_through(high_bit)
+    load_bits = load_addr & mask
+    partial_matches = [s for s in store_addrs if (s & mask) == load_bits]
+    if not partial_matches:
+        return LSDCategory.ZERO_MATCH
+    full_mask = _mask_through(LAST_COMPARE_BIT)
+    if len(partial_matches) == 1:
+        store = partial_matches[0]
+        if (store & full_mask) == (load_addr & full_mask):
+            if len(store_addrs) == 1:
+                return LSDCategory.SINGLE_MATCH_ONE_STORE
+            return LSDCategory.SINGLE_MATCH_MULT_STORES
+        return LSDCategory.SINGLE_NONMATCH
+    first = partial_matches[0] & full_mask
+    if all((s & full_mask) == first for s in partial_matches):
+        return LSDCategory.MULTI_SAME_ADDR
+    return LSDCategory.MULTI_DIFF_ADDR
+
+
+def bits_to_disambiguate(load_addr: int, store_addrs: Sequence[int]) -> int:
+    """Smallest ``high_bit`` at which the load is disambiguated.
+
+    "Disambiguated" means the partial comparison has become decisive:
+    either zero stores match (the load may issue past them
+    non-speculatively) or a single candidate remains (which Figure 2
+    shows is then almost always the true forwarding store).  Returns 31
+    when only the full comparison decides (e.g. multiple stores to the
+    same address as the load cannot be told apart sooner, which is fine
+    — same-address stores forward identically).
+    """
+    if not store_addrs:
+        return FIRST_COMPARE_BIT
+    for high_bit in range(FIRST_COMPARE_BIT, LAST_COMPARE_BIT + 1):
+        category = classify_disambiguation(load_addr, store_addrs, high_bit)
+        if category in (
+            LSDCategory.ZERO_MATCH,
+            LSDCategory.SINGLE_NONMATCH,  # will resolve to zero-match by 31
+            LSDCategory.SINGLE_MATCH_ONE_STORE,
+            LSDCategory.SINGLE_MATCH_MULT_STORES,
+            LSDCategory.MULTI_SAME_ADDR,
+        ):
+            if category is LSDCategory.SINGLE_NONMATCH:
+                continue  # not yet decisive: the lone candidate still mismatches later
+            return high_bit
+    return LAST_COMPARE_BIT

@@ -1,0 +1,135 @@
+"""Unified load/store queue model (Table 2: 32 entries).
+
+Used by the timing simulator.  Entries are kept in program order; store
+addresses may be only partially known (low-order slices computed while
+high slices are still in flight), and loads search older stores with
+whatever bits both sides have available — the mechanism behind early
+load–store disambiguation (paper §5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lsq.disambiguation import FIRST_COMPARE_BIT
+
+
+class PartialSearchResult(enum.Enum):
+    """Outcome of a load's (partial) search of older stores."""
+
+    NO_CONFLICT = "no-conflict"       # all older stores ruled out
+    FORWARD = "forward"               # unique older store matches fully
+    PARTIAL_CANDIDATE = "candidate"   # unique partial match, not yet confirmed
+    AMBIGUOUS = "ambiguous"           # several partial matches remain
+    UNKNOWN = "unknown"               # an older store has no usable bits yet
+
+
+@dataclass
+class LSQEntry:
+    """One queue slot."""
+
+    seq: int
+    is_store: bool
+    addr: int | None = None          # full effective address once known
+    addr_bits_known: int = 0         # how many low-order address bits are valid
+    addr_partial: int = 0            # the partially generated address image
+    data_ready: bool = False         # store data available (stores only)
+    issued: bool = False
+
+    def known_mask(self, up_to_bit: int | None = None) -> int:
+        """Mask of comparable bits: [2, addr_bits_known) intersected
+        with the caller's window."""
+        bits = self.addr_bits_known if up_to_bit is None else min(self.addr_bits_known, up_to_bit)
+        if bits <= FIRST_COMPARE_BIT:
+            return 0
+        return ((1 << bits) - 1) & ~((1 << FIRST_COMPARE_BIT) - 1)
+
+
+@dataclass
+class LoadStoreQueue:
+    """Program-ordered unified queue with partial-address search."""
+
+    capacity: int = 32
+    entries: list[LSQEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def insert(self, seq: int, is_store: bool) -> LSQEntry:
+        """Allocate a slot at dispatch (program order).
+
+        Raises:
+            OverflowError: when the queue is full (caller must stall).
+        """
+        if self.full:
+            raise OverflowError("LSQ full")
+        entry = LSQEntry(seq=seq, is_store=is_store)
+        self.entries.append(entry)
+        return entry
+
+    def set_address_bits(self, entry: LSQEntry, partial_addr: int, bits_known: int) -> None:
+        """Record that the low *bits_known* bits of the address are valid."""
+        entry.addr_partial = partial_addr
+        entry.addr_bits_known = bits_known
+        if bits_known >= 32:
+            entry.addr = partial_addr & 0xFFFFFFFF
+
+    def older_stores(self, seq: int) -> list[LSQEntry]:
+        """Stores preceding instruction *seq*, program order."""
+        return [e for e in self.entries if e.is_store and e.seq < seq]
+
+    def search(self, load: LSQEntry, load_bits_known: int | None = None) -> tuple[PartialSearchResult, LSQEntry | None]:
+        """Search older stores with the bits available on both sides.
+
+        Mirrors the paper's early-disambiguation rules: compare only
+        bits both the load and each store have generated (from bit 2
+        up); a store whose comparable window is empty makes the search
+        UNKNOWN (the paper's model does not let loads pass stores with
+        unknown addresses).  Returns the decisive store for FORWARD /
+        PARTIAL_CANDIDATE.
+        """
+        load_bits = load.addr_bits_known if load_bits_known is None else load_bits_known
+        if load_bits <= FIRST_COMPARE_BIT:
+            return PartialSearchResult.UNKNOWN, None
+        stores = self.older_stores(load.seq)
+        if not stores:
+            return PartialSearchResult.NO_CONFLICT, None
+        candidates: list[LSQEntry] = []
+        for store in stores:
+            window = min(load_bits, store.addr_bits_known)
+            if window <= FIRST_COMPARE_BIT:
+                return PartialSearchResult.UNKNOWN, None
+            mask = ((1 << window) - 1) & ~((1 << FIRST_COMPARE_BIT) - 1)
+            if (store.addr_partial & mask) == (load.addr_partial & mask):
+                candidates.append(store)
+        if not candidates:
+            return PartialSearchResult.NO_CONFLICT, None
+        if len(candidates) == 1:
+            store = candidates[0]
+            window = min(load_bits, store.addr_bits_known)
+            if window >= 32:
+                return PartialSearchResult.FORWARD, store
+            return PartialSearchResult.PARTIAL_CANDIDATE, store
+        # Multiple partial matchers: if they are provably the same
+        # address and all fully known, the youngest forwards.
+        if all(c.addr is not None for c in candidates) and load.addr is not None:
+            exact = [c for c in candidates if c.addr == load.addr]
+            if len(exact) == len(candidates):
+                return PartialSearchResult.FORWARD, max(exact, key=lambda e: e.seq)
+            if not exact:
+                return PartialSearchResult.NO_CONFLICT, None
+            return PartialSearchResult.FORWARD, max(exact, key=lambda e: e.seq)
+        return PartialSearchResult.AMBIGUOUS, None
+
+    def remove(self, entry: LSQEntry) -> None:
+        """Retire an entry at commit."""
+        self.entries.remove(entry)
+
+    def clear_after(self, seq: int) -> None:
+        """Squash entries younger than *seq* (branch misprediction flush)."""
+        self.entries = [e for e in self.entries if e.seq <= seq]

@@ -1,0 +1,21 @@
+"""Memory-system substrate: set-associative caches and a hierarchy model.
+
+Provides the Table 2 cache configuration (64KB 2-way L1I, 64KB 4-way
+L1D, 1MB 4-way unified L2, 100-cycle memory) plus the partial-tag
+matching machinery of paper §5.2 / Figure 3.
+"""
+
+from repro.memsys.cache import CacheConfig, SetAssociativeCache
+from repro.memsys.hierarchy import AccessResult, MemoryHierarchy, Table2Hierarchy
+from repro.memsys.partial_tag import PartialTagOutcome, classify_partial_tag, partial_tag_lookup
+
+__all__ = [
+    "AccessResult",
+    "CacheConfig",
+    "MemoryHierarchy",
+    "PartialTagOutcome",
+    "SetAssociativeCache",
+    "Table2Hierarchy",
+    "classify_partial_tag",
+    "partial_tag_lookup",
+]

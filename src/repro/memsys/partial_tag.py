@@ -1,0 +1,99 @@
+"""Partial tag matching (paper §5.2, Figures 3 and 4).
+
+While the high half of an effective address is still being generated,
+the low-order tag bits that *are* available can be compared against the
+resident tags of the indexed set.  Four outcomes are possible at any
+partial width (paper's Figure 4 categories):
+
+* ``SINGLE_HIT`` — exactly one way matches the partial tag and it will
+  also match the full tag (safe to speculate on it);
+* ``SINGLE_MISS`` — exactly one way matches the partial tag but the full
+  tag will mismatch (speculating picks a wrong line: a cache miss);
+* ``ZERO`` — no way matches: the miss is known **early and
+  non-speculatively**;
+* ``MULTI`` — more than one way matches; a way predictor (MRU here)
+  must pick among the partial matchers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.memsys.cache import SetAssociativeCache
+
+
+class PartialTagOutcome(enum.Enum):
+    """Category of a partial tag comparison (Figure 4 legend)."""
+
+    SINGLE_HIT = "single entry - hit"
+    SINGLE_MISS = "single entry - miss"
+    ZERO = "zero match"
+    MULTI = "mult match"
+
+
+def classify_partial_tag(full_tag: int, resident_tags: list[int], bits: int, tag_width: int) -> PartialTagOutcome:
+    """Classify a partial tag compare of *bits* low-order tag bits.
+
+    Args:
+        full_tag: tag of the accessed address.
+        resident_tags: tags currently in the indexed set (MRU-first).
+        bits: number of low-order tag bits available (1..tag_width).
+        tag_width: full width of the tag field.
+    """
+    if not 1 <= bits <= tag_width:
+        raise ValueError(f"bits must be in 1..{tag_width}, got {bits}")
+    mask = (1 << bits) - 1 if bits < tag_width else (1 << tag_width) - 1
+    partial = full_tag & mask
+    matches = [t for t in resident_tags if (t & mask) == partial]
+    if not matches:
+        return PartialTagOutcome.ZERO
+    if len(matches) > 1:
+        return PartialTagOutcome.MULTI
+    return PartialTagOutcome.SINGLE_HIT if matches[0] == full_tag else PartialTagOutcome.SINGLE_MISS
+
+
+def partial_tag_lookup(
+    cache: SetAssociativeCache, addr: int, available_bits: int
+) -> tuple[PartialTagOutcome, int | None, bool]:
+    """Perform a partial-tag way selection with MRU prediction.
+
+    Models the access of Figure 3: the index is assumed fully available;
+    *available_bits* low-order tag bits take part in the compare.  When
+    several ways match partially, the MRU way among the matchers is
+    predicted (paper §7: "MRU policy for way prediction").
+
+    Returns:
+        ``(outcome, predicted_tag, correct)`` where *predicted_tag* is
+        the selected way's tag (None when no way is selected) and
+        *correct* says whether acting on the prediction agrees with the
+        full-tag access: for ZERO the early-miss signal is always
+        correct; for a selected way it is correct iff that way's full
+        tag matches.
+    """
+    config = cache.config
+    tag_width = config.tag_bits
+    bits = max(1, min(available_bits, tag_width))
+    _, full_tag = config.split(addr)
+    resident = cache.set_tags(addr)
+    mask = (1 << bits) - 1
+    partial = full_tag & mask
+    matches = [t for t in resident if (t & mask) == partial]
+    if not matches:
+        # Early non-speculative miss: correct by construction, since a
+        # partial mismatch implies a full mismatch.
+        return PartialTagOutcome.ZERO, None, True
+    predicted = matches[0]  # resident list is MRU-first
+    if len(matches) == 1:
+        outcome = PartialTagOutcome.SINGLE_HIT if predicted == full_tag else PartialTagOutcome.SINGLE_MISS
+    else:
+        outcome = PartialTagOutcome.MULTI
+    return outcome, predicted, predicted == full_tag
+
+
+def tag_bits_available(address_bits_ready: int, tag_shift: int) -> int:
+    """Tag bits usable when the low *address_bits_ready* bits are known.
+
+    E.g. with a 16-bit first adder slice and a 64KB 4-way cache
+    (tag_shift 14), two tag bits are available (paper §7.1).
+    """
+    return max(0, address_bits_ready - tag_shift)

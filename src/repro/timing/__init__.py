@@ -1,0 +1,14 @@
+"""Execution-driven timing model.
+
+A one-pass timestamp simulator of the paper's 15-stage out-of-order
+core (Figure 10, Table 2), supporting atomic, simple-pipelined and
+bit-sliced execution stages with the partial-operand techniques as
+feature flags.  See DESIGN.md §5 for the modelling decisions and the
+known deltas (wrong-path instructions are charged as redirect latency,
+not simulated).
+"""
+
+from repro.timing.simulator import TimingSimulator, simulate
+from repro.timing.stats import SimStats
+
+__all__ = ["SimStats", "TimingSimulator", "simulate"]

@@ -1,0 +1,98 @@
+"""Pipeline timeline capture and ASCII rendering.
+
+Reproduces the paper's Figure 1 visually: for a window of instructions,
+show when each was fetched, dispatched, when each of its result slices
+completed, and when it committed — making the overlap (or serialization)
+of dependent instructions visible across machine configurations.
+
+Usage::
+
+    sim = TimingSimulator(bitslice_config(2), record_timeline=True)
+    sim.run(trace, max_instructions=40)
+    print(render_timeline(sim.timeline, limit=20))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """Per-instruction pipeline timestamps."""
+
+    seq: int
+    pc: int
+    mnemonic: str
+    text: str
+    fetch: int
+    dispatch: int
+    slice_completions: tuple[int, ...]
+    complete: int
+    commit: int
+    mispredicted: bool = False
+
+    @property
+    def latency(self) -> int:
+        """Fetch-to-commit latency in cycles."""
+        return self.commit - self.fetch
+
+
+def render_timeline(
+    events: list[TimelineEvent],
+    limit: int = 24,
+    offset: int = 0,
+    max_width: int = 100,
+) -> str:
+    """Render events as one ASCII row per instruction.
+
+    Legend: ``F`` fetch, ``d`` dispatch, digits = completion of that
+    result slice, ``*`` full completion, ``C`` commit, ``!`` appended
+    to mispredicted control instructions.
+    """
+    window = events[offset : offset + limit]
+    if not window:
+        return "(no timeline events)"
+    t0 = min(e.fetch for e in window)
+    t1 = max(e.commit for e in window)
+    span = t1 - t0 + 1
+    scale = 1
+    if span > max_width:
+        scale = (span + max_width - 1) // max_width
+        span = (span + scale - 1) // scale
+
+    def col(cycle: int) -> int:
+        return (cycle - t0) // scale
+
+    label_width = max(len(e.text) for e in window) + 2
+    header = " " * (8 + label_width) + f"cycles {t0}..{t1}" + (f" (1 char = {scale} cycles)" if scale > 1 else "")
+    lines = [header]
+    for e in window:
+        row = ["."] * span
+        row[col(e.fetch)] = "F"
+        if col(e.dispatch) < span:
+            row[col(e.dispatch)] = "d"
+        for k, t in enumerate(e.slice_completions):
+            c = col(t)
+            if c < span:
+                row[c] = str(k) if len(e.slice_completions) > 1 else "*"
+        if col(e.complete) < span and len(e.slice_completions) <= 1:
+            row[col(e.complete)] = "*"
+        row[col(e.commit)] = "C"
+        flag = "!" if e.mispredicted else " "
+        lines.append(f"{e.seq:>6}{flag} {e.text:<{label_width}}" + "".join(row))
+    return "\n".join(lines)
+
+
+def summarize_timeline(events: list[TimelineEvent]) -> str:
+    """Aggregate latency statistics over a timeline."""
+    if not events:
+        return "(no timeline events)"
+    latencies = sorted(e.latency for e in events)
+    n = len(latencies)
+    mean = sum(latencies) / n
+    return (
+        f"{n} instructions; fetch-to-commit latency "
+        f"min {latencies[0]}, median {latencies[n // 2]}, "
+        f"mean {mean:.1f}, max {latencies[-1]} cycles"
+    )

@@ -1,0 +1,78 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Counters produced by one timing-simulation run."""
+
+    config_name: str = ""
+    instructions: int = 0
+    cycles: int = 0
+
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    early_resolved_mispredicts: int = 0
+
+    l1d_hits: int = 0
+    l1d_misses: int = 0
+    load_replays: int = 0            # load-hit speculation replays
+
+    ptm_accesses: int = 0            # loads that used partial tag matching
+    ptm_early_hits: int = 0          # correct speculative way selections
+    ptm_early_misses: int = 0        # early non-speculative miss signals
+    ptm_way_mispredicts: int = 0     # wrong way picked, replay needed
+
+    lsd_searches: int = 0            # loads that searched older stores
+    lsd_early_releases: int = 0      # loads released before all store addrs known
+    store_forwards: int = 0
+
+    ruu_stall_cycles: int = 0
+    lsq_stall_cycles: int = 0
+
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Conditional-branch direction accuracy (Table 1's metric)."""
+        if not self.branches:
+            return 0.0
+        return 1.0 - self.branch_mispredicts / self.branches
+
+    @property
+    def ptm_way_mispredict_rate(self) -> float:
+        """Fraction of PTM accesses whose way prediction was wrong
+        (the paper reports ~2% for slice-by-2, ~1% for slice-by-4)."""
+        return self.ptm_way_mispredicts / self.ptm_accesses if self.ptm_accesses else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable dump."""
+        lines = [
+            f"config            : {self.config_name}",
+            f"instructions      : {self.instructions}",
+            f"cycles            : {self.cycles}",
+            f"IPC               : {self.ipc:.3f}",
+            f"loads / stores    : {self.loads} / {self.stores}",
+            f"branch accuracy   : {self.branch_accuracy:.1%} ({self.branch_mispredicts} mispredicts)",
+            f"early resolved    : {self.early_resolved_mispredicts}",
+            f"L1D hit rate      : {self.l1d_hits / max(1, self.l1d_hits + self.l1d_misses):.1%}",
+            f"load replays      : {self.load_replays}",
+            f"PTM way mispredict: {self.ptm_way_mispredict_rate:.2%} of {self.ptm_accesses}",
+            f"LSD early release : {self.lsd_early_releases} of {self.lsd_searches} searches",
+            f"store forwards    : {self.store_forwards}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Synthetic ``bzip``: run-length coding over a byte buffer.
+
+Mirrors the compressor's dominant behaviour: byte-granularity streaming
+loads/stores, short data-dependent run loops, and a rolling checksum.
+The buffer is filled with run-structured pseudo-random data, then
+repeatedly re-encoded with a single byte mutated between passes.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 3
+_BUF_SIZE = 32768  # power of two so `rand % size` is a mask
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the bzip workload with *iters* encode passes.
+
+    *footprint_divisor* shrinks the buffer (power of two), giving the
+    SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    size = scaled_size(_BUF_SIZE, div)
+    return f"""
+# bzip: run-length encoder over a {size}-byte buffer
+        .data
+        .align 2
+buf:    .space {size}
+out:    .space {2 * size}
+        .text
+main:   la   $s0, buf
+        la   $s1, out
+        li   $s2, {size}
+        li   $s7, 0
+
+# --- fill buffer with runs of random bytes ----------------------------
+        li   $s3, 0              # i
+fill_loop:
+        jal  rand
+        andi $t0, $v0, 0xff      # run value
+        jal  rand
+        andi $t1, $v0, 15
+        addiu $t1, $t1, 1        # run length 1..16
+fill_run:
+        beq  $s3, $s2, fill_done
+        addu $t2, $s0, $s3
+        sb   $t0, 0($t2)
+        addiu $s3, $s3, 1
+        addiu $t1, $t1, -1
+        bgtz $t1, fill_run
+        b    fill_loop
+fill_done:
+
+        li   $s6, {iters}        # encode passes
+iter_loop:
+        # mutate one byte so every pass differs
+        jal  rand
+        andi $t0, $v0, {size - 1}
+        addu $t2, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 0xff
+        sb   $t1, 0($t2)
+        jal  encode
+        addiu $s6, $s6, -1
+        bgtz $s6, iter_loop
+        j    finish
+
+# --- one RLE encode pass ----------------------------------------------
+encode: li   $s3, 0              # input index
+        li   $t7, 0              # output index
+enc_outer:
+        beq  $s3, $s2, enc_done
+        addu $t2, $s0, $s3
+        lbu  $t0, 0($t2)         # run value
+        li   $t1, 1              # run count
+enc_run:
+        addiu $s3, $s3, 1
+        beq  $s3, $s2, enc_emit
+        addu $t2, $s0, $s3
+        lbu  $t3, 0($t2)
+        bne  $t3, $t0, enc_emit
+        addiu $t1, $t1, 1
+        b    enc_run
+enc_emit:
+        addu $t4, $s1, $t7
+        sb   $t1, 0($t4)
+        sb   $t0, 1($t4)
+        addiu $t7, $t7, 2
+        # checksum = rotl1(checksum) ^ (count << 8 | value)
+        sll  $t5, $t1, 8
+        or   $t5, $t5, $t0
+        sll  $t6, $s7, 1
+        srl  $t3, $s7, 31
+        or   $t6, $t6, $t3
+        xor  $s7, $t6, $t5
+        b    enc_outer
+enc_done:
+        jr   $ra
+{rand_asm(seed=0x1234ABCD)}
+{epilogue("bzip")}
+"""

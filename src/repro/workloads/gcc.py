@@ -1,0 +1,169 @@
+"""Synthetic ``gcc``: token scanner plus symbol hash table.
+
+Mirrors a compiler front end's hot loops: per-character class lookup,
+an indirect jump through a dispatch table (exercising the BTB), rolling
+identifier hashes, and linear-probed symbol-table insertion/lookup.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 3
+_TEXT_SIZE = 8192
+_SYMTAB_SLOTS = 512  # power of two
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the gcc workload with *iters* scan passes.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    text_size = scaled_size(_TEXT_SIZE, div)
+    slots = scaled_size(_SYMTAB_SLOTS, div)
+    return f"""
+# gcc: character-class dispatch + symbol hashing
+        .data
+        .align 2
+text:   .space {text_size}
+class_tab: .space 256            # 0 space, 1 alpha, 2 digit, 3 punct
+symtab: .space {slots * 8}   # (hash, count) pairs
+jump_tab: .word on_space, on_alpha, on_digit, on_punct
+        .text
+main:   la   $s0, text
+        la   $s1, class_tab
+        la   $s2, symtab
+        li   $s7, 0
+
+# --- build class table --------------------------------------------------
+        li   $t0, 0
+ctab:   li   $t1, 0              # default: space-like
+        slti $t2, $t0, 97
+        bne  $t2, $0, not_alpha
+        slti $t2, $t0, 123
+        beq  $t2, $0, not_alpha
+        li   $t1, 1              # 'a'..'z'
+not_alpha:
+        slti $t2, $t0, 48
+        bne  $t2, $0, not_digit
+        slti $t2, $t0, 58
+        beq  $t2, $0, not_digit
+        li   $t1, 2              # '0'..'9'
+not_digit:
+        slti $t2, $t0, 33
+        bne  $t2, $0, have_class
+        slti $t2, $t0, 48
+        beq  $t2, $0, have_class
+        li   $t1, 3              # punctuation band
+have_class:
+        addu $t3, $s1, $t0
+        sb   $t1, 0($t3)
+        addiu $t0, $t0, 1
+        slti $t2, $t0, 256
+        bne  $t2, $0, ctab
+
+# --- fill text with a plausible token mix -------------------------------
+        li   $s3, 0
+tfill:  jal  rand
+        andi $t0, $v0, 0x3f
+        slti $t1, $t0, 40
+        beq  $t1, $0, pick_other
+        andi $t0, $v0, 25
+        addiu $t0, $t0, 97       # letter (most common)
+        b    tput
+pick_other:
+        slti $t1, $t0, 52
+        beq  $t1, $0, pick_punct
+        andi $t0, $v0, 7
+        addiu $t0, $t0, 48       # digit
+        b    tput
+pick_punct:
+        slti $t1, $t0, 58
+        beq  $t1, $0, pick_space
+        andi $t0, $v0, 7
+        addiu $t0, $t0, 40       # punct band
+        b    tput
+pick_space:
+        li   $t0, 32
+tput:   addu $t2, $s0, $s3
+        sb   $t0, 0($t2)
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {text_size}
+        bne  $t1, $0, tfill
+
+        li   $s6, {iters}
+scan_iter:
+        jal  scan
+        # mutate one character between passes
+        jal  rand
+        andi $t0, $v0, {text_size - 1}
+        addu $t2, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 25
+        addiu $t1, $t1, 97
+        sb   $t1, 0($t2)
+        addiu $s6, $s6, -1
+        bgtz $s6, scan_iter
+        j    finish
+
+# --- one scan pass -------------------------------------------------------
+scan:   move $s5, $ra            # save return (leaf calls below use $ra? no, but keep)
+        li   $s3, 0              # cursor
+        li   $s4, 0              # current identifier hash
+sloop:  slti $t0, $s3, {text_size}
+        beq  $t0, $0, sdone
+        addu $t1, $s0, $s3
+        lbu  $t2, 0($t1)         # character
+        addu $t3, $s1, $t2
+        lbu  $t4, 0($t3)         # class
+        sll  $t4, $t4, 2
+        la   $t5, jump_tab
+        addu $t5, $t5, $t4
+        lw   $t5, 0($t5)
+        jr   $t5                 # indirect dispatch
+on_alpha:
+        # hash = hash*33 + c  (shift+add)
+        sll  $t6, $s4, 5
+        addu $t6, $t6, $s4
+        addu $s4, $t6, $t2
+        addiu $s3, $s3, 1
+        b    sloop
+on_digit:
+        sll  $t6, $t2, 1
+        addu $s7, $s7, $t6       # numbers feed checksum directly
+        addiu $s3, $s3, 1
+        b    sloop
+on_punct:
+        xor  $s7, $s7, $t2
+        addiu $s3, $s3, 1
+        b    sloop
+on_space:
+        beq  $s4, $0, snext      # no pending identifier
+        # insert/lookup hash in symtab (linear probe, bounded)
+        andi $t6, $s4, {slots - 1}
+        li   $t9, {slots}
+probe:  addiu $t9, $t9, -1
+        blez $t9, giveup         # table full: drop the symbol
+        sll  $t7, $t6, 3
+        addu $t7, $s2, $t7
+        lw   $t0, 0($t7)         # stored hash
+        beq  $t0, $s4, bump      # hit
+        beq  $t0, $0, insert     # empty slot
+        addiu $t6, $t6, 1
+        andi $t6, $t6, {slots - 1}
+        b    probe
+insert: sw   $s4, 0($t7)
+bump:   lw   $t1, 4($t7)
+        addiu $t1, $t1, 1
+        sw   $t1, 4($t7)
+        addu $s7, $s7, $t1
+giveup: li   $s4, 0
+snext:  addiu $s3, $s3, 1
+        b    sloop
+sdone:  jr   $s5
+{rand_asm(seed=0x6CC6CC01)}
+{epilogue("gcc")}
+"""

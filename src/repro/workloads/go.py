@@ -1,0 +1,129 @@
+"""Synthetic ``go``: board-position heuristic evaluation.
+
+Mirrors a go engine's leaf evaluation: a 19x19 byte board, per-point
+neighbor inspection with bounds checks (highly branchy, data-dependent
+directions), and accumulation of a weighted influence score.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm
+
+MAX_FOOTPRINT_DIVISOR = 1
+DEFAULT_ITERS = 25
+_N = 19
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the go workload with *iters* board evaluations.
+
+    The board/grid size is intrinsic to this kernel, so
+    *footprint_divisor* is accepted but has no effect.
+    """
+    return f"""
+# go: neighbor-counting evaluation of a {_N}x{_N} board
+        .equ N, {_N}
+        .data
+        .align 2
+board:  .space {_N * _N}
+        .text
+main:   la   $s0, board
+        li   $s7, 0
+
+# --- random board fill: 0 empty, 1 black, 2 white -----------------------
+        li   $s3, 0
+bfill:  jal  rand
+        andi $t0, $v0, 3
+        slti $t1, $t0, 3
+        bne  $t1, $0, bput
+        li   $t0, 0              # map 3 -> empty
+bput:   addu $t2, $s0, $s3
+        sb   $t0, 0($t2)
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {_N * _N}
+        bne  $t1, $0, bfill
+
+        li   $s6, {iters}
+eval_iter:
+        jal  evaluate
+        # play a pseudo-random stone between evaluations
+        jal  rand
+        andi $t0, $v0, 511
+        li   $t1, {_N * _N}
+        slt  $t2, $t0, $t1
+        bne  $t2, $0, inb
+        andi $t0, $t0, 255
+inb:    addu $t2, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 1
+        addiu $t1, $t1, 1        # 1 or 2
+        sb   $t1, 0($t2)
+        addiu $s6, $s6, -1
+        bgtz $s6, eval_iter
+        j    finish
+
+# --- full-board evaluation ----------------------------------------------
+evaluate:
+        li   $s3, 0              # row
+erow:   li   $s4, 0              # col
+ecol:   # point address and color
+        li   $t0, N
+        mult $s3, $t0
+        mflo $t0
+        addu $t0, $t0, $s4
+        addu $t1, $s0, $t0       # &board[r][c]
+        lbu  $t2, 0($t1)         # color
+        beq  $t2, $0, enext      # empty point: no score
+        li   $t3, 0              # friendly neighbors
+        li   $t4, 0              # liberties (empty neighbors)
+        # north
+        blez $s3, s_south
+        lbu  $t5, -N($t1)
+        beq  $t5, $0, n_lib
+        bne  $t5, $t2, s_south
+        addiu $t3, $t3, 1
+        b    s_south
+n_lib:  addiu $t4, $t4, 1
+s_south:
+        addiu $t6, $s3, 1
+        slti $t7, $t6, N
+        beq  $t7, $0, s_west
+        lbu  $t5, N($t1)
+        beq  $t5, $0, s_lib
+        bne  $t5, $t2, s_west
+        addiu $t3, $t3, 1
+        b    s_west
+s_lib:  addiu $t4, $t4, 1
+s_west: blez $s4, s_east
+        lbu  $t5, -1($t1)
+        beq  $t5, $0, w_lib
+        bne  $t5, $t2, s_east
+        addiu $t3, $t3, 1
+        b    s_east
+w_lib:  addiu $t4, $t4, 1
+s_east: addiu $t6, $s4, 1
+        slti $t7, $t6, N
+        beq  $t7, $0, escore
+        lbu  $t5, 1($t1)
+        beq  $t5, $0, e_lib
+        bne  $t5, $t2, escore
+        addiu $t3, $t3, 1
+        b    escore
+e_lib:  addiu $t4, $t4, 1
+escore: # score = 4*liberties + friends, negated for white
+        sll  $t5, $t4, 2
+        addu $t5, $t5, $t3
+        slti $t6, $t2, 2         # black?
+        bne  $t6, $0, eacc
+        subu $t5, $0, $t5
+eacc:   addu $s7, $s7, $t5
+enext:  addiu $s4, $s4, 1
+        slti $t7, $s4, N
+        bne  $t7, $0, ecol
+        addiu $s3, $s3, 1
+        slti $t7, $s3, N
+        bne  $t7, $0, erow
+        jr   $ra
+{rand_asm(seed=0x600D1DEA)}
+{epilogue("go")}
+"""

@@ -1,0 +1,125 @@
+"""Synthetic ``gzip``: LZ77-style window matching with a hash head table.
+
+Mirrors deflate's hot path: hashing short prefixes, chasing a head
+table, and byte-compare match loops whose trip counts depend on the
+data.  A small alphabet makes matches plentiful, as in text input.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 2
+_BUF_SIZE = 16384
+_MAX_MATCH = 16
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the gzip workload with *iters* deflate passes.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    size = scaled_size(_BUF_SIZE, div)
+    return f"""
+# gzip: LZ77 window matcher over a {size}-byte buffer
+        .data
+        .align 2
+buf:    .space {size}
+head:   .space 1024              # 256 word entries: hash -> last position+1
+        .text
+main:   la   $s0, buf
+        la   $s1, head
+        li   $s2, {size}
+        li   $s7, 0
+
+# --- fill buffer from a small alphabet so matches are common -----------
+        li   $s3, 0
+gfill:  jal  rand
+        andi $t0, $v0, 7
+        addiu $t0, $t0, 97       # 'a'..'h'
+        addu $t2, $s0, $s3
+        sb   $t0, 0($t2)
+        addiu $s3, $s3, 1
+        bne  $s3, $s2, gfill
+
+        li   $s6, {iters}
+giter:  # mutate a byte between passes
+        jal  rand
+        andi $t0, $v0, {size - 1}
+        addu $t2, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 7
+        addiu $t1, $t1, 97
+        sb   $t1, 0($t2)
+        jal  deflate
+        addiu $s6, $s6, -1
+        bgtz $s6, giter
+        j    finish
+
+# --- one deflate pass ---------------------------------------------------
+deflate:
+        # clear head table (256 words)
+        li   $t0, 0
+        li   $t1, 256
+dclr:   sll  $t2, $t0, 2
+        addu $t2, $s1, $t2
+        sw   $0, 0($t2)
+        addiu $t0, $t0, 1
+        bne  $t0, $t1, dclr
+
+        li   $s3, 0              # position i
+dloop:  addiu $t9, $s2, -{_MAX_MATCH}
+        slt  $t0, $s3, $t9
+        beq  $t0, $0, ddone      # stop near buffer end
+        # hash = (buf[i] << 3) ^ buf[i+1], 8 bits
+        addu $t2, $s0, $s3
+        lbu  $t0, 0($t2)
+        lbu  $t1, 1($t2)
+        sll  $t3, $t0, 3
+        xor  $t3, $t3, $t1
+        andi $t3, $t3, 0xff
+        # candidate = head[hash] - 1 ; head[hash] = i + 1
+        sll  $t4, $t3, 2
+        addu $t4, $s1, $t4
+        lw   $t5, 0($t4)
+        addiu $t6, $s3, 1
+        sw   $t6, 0($t4)
+        beq  $t5, $0, dliteral   # no prior occurrence
+        addiu $t5, $t5, -1       # candidate position
+        # match length loop, up to {_MAX_MATCH}
+        li   $t6, 0              # length
+        addu $t7, $s0, $t5       # cand ptr
+        addu $t2, $s0, $s3       # cur ptr
+dmatch: lbu  $t0, 0($t7)
+        lbu  $t1, 0($t2)
+        bne  $t0, $t1, dmend
+        addiu $t6, $t6, 1
+        addiu $t7, $t7, 1
+        addiu $t2, $t2, 1
+        slti $t0, $t6, {_MAX_MATCH}
+        bne  $t0, $0, dmatch
+dmend:  slti $t0, $t6, 3
+        bne  $t0, $0, dliteral   # too short: literal
+        # emit match(dist, len): checksum ^= (dist << 5) + len, advance
+        subu $t1, $s3, $t5
+        sll  $t1, $t1, 5
+        addu $t1, $t1, $t6
+        sll  $t2, $s7, 1
+        srl  $t3, $s7, 31
+        or   $t2, $t2, $t3
+        xor  $s7, $t2, $t1
+        addu $s3, $s3, $t6
+        b    dloop
+dliteral:
+        addu $t2, $s0, $s3
+        lbu  $t0, 0($t2)
+        xor  $s7, $s7, $t0
+        addiu $s3, $s3, 1
+        b    dloop
+ddone:  jr   $ra
+{rand_asm(seed=0x9E3779B9)}
+{epilogue("gzip")}
+"""

@@ -1,0 +1,176 @@
+"""Synthetic ``ijpeg``: 8x8 integer block transform with quantization.
+
+Mirrors the codec's hot path: blocked access over an image, butterfly
+add/sub stages, coefficient multiplies (exercising the FULL slice
+class), arithmetic shifts for quantization, and stores of coefficients.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 2
+DEFAULT_ITERS = 2
+_DIM = 128  # image is _DIM x _DIM bytes; 8x8 blocks
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the ijpeg workload with *iters* image passes.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    dim = scaled_size(_DIM, div)
+    return f"""
+# ijpeg: 8x8 block transform over a {_DIM}x{_DIM} image
+        .equ DIM, {dim}
+        .data
+        .align 2
+image:  .space {dim * dim}
+coeff:  .space {dim * dim * 2}     # halfword outputs
+row:    .space 32                    # 8 word scratch
+        .text
+main:   la   $s0, image
+        la   $s1, coeff
+        li   $s7, 0
+
+# --- fill image ----------------------------------------------------------
+        li   $s3, 0
+ifill:  jal  rand
+        andi $t0, $v0, 0xff
+        addu $t2, $s0, $s3
+        sb   $t0, 0($t2)
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {dim * dim}
+        bne  $t1, $0, ifill
+
+        li   $s6, {iters}
+jiter:  jal  transform_image
+        # perturb one pixel between passes
+        jal  rand
+        andi $t0, $v0, {dim * dim - 1}
+        addu $t2, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 0xff
+        sb   $t1, 0($t2)
+        addiu $s6, $s6, -1
+        bgtz $s6, jiter
+        j    finish
+
+# --- transform every 8x8 block -------------------------------------------
+transform_image:
+        move $s5, $ra
+        li   $s3, 0              # block row (0..7)
+tbr:    li   $s4, 0              # block col (0..7)
+tbc:    jal  transform_block
+        addiu $s4, $s4, 1
+        slti $t0, $s4, 8
+        bne  $t0, $0, tbc
+        addiu $s3, $s3, 1
+        slti $t0, $s3, 8
+        bne  $t0, $0, tbr
+        jr   $s5
+
+# --- one 8x8 block: row transform + quantize ------------------------------
+transform_block:
+        # base = image + (block_row*8)*DIM + block_col*8
+        sll  $t0, $s3, 3
+        li   $t1, DIM
+        mult $t0, $t1
+        mflo $t0
+        sll  $t1, $s4, 3
+        addu $t0, $t0, $t1
+        addu $a1, $s0, $t0       # input base
+        sll  $t2, $t0, 1
+        addu $a2, $s1, $t2       # output base (halfwords)
+        li   $a3, 0              # row counter
+trow:   # load 8 pixels into scratch words
+        la   $t9, row
+        lbu  $t0, 0($a1)
+        sw   $t0, 0($t9)
+        lbu  $t0, 1($a1)
+        sw   $t0, 4($t9)
+        lbu  $t0, 2($a1)
+        sw   $t0, 8($t9)
+        lbu  $t0, 3($a1)
+        sw   $t0, 12($t9)
+        lbu  $t0, 4($a1)
+        sw   $t0, 16($t9)
+        lbu  $t0, 5($a1)
+        sw   $t0, 20($t9)
+        lbu  $t0, 6($a1)
+        sw   $t0, 24($t9)
+        lbu  $t0, 7($a1)
+        sw   $t0, 28($t9)
+        # butterfly stage 1: s[i] = x[i] + x[7-i], d[i] = x[i] - x[7-i]
+        lw   $t0, 0($t9)
+        lw   $t1, 28($t9)
+        addu $t2, $t0, $t1       # s0
+        subu $t3, $t0, $t1       # d0
+        lw   $t0, 4($t9)
+        lw   $t1, 24($t9)
+        addu $t4, $t0, $t1       # s1
+        subu $t5, $t0, $t1       # d1
+        lw   $t0, 8($t9)
+        lw   $t1, 20($t9)
+        addu $t6, $t0, $t1       # s2
+        subu $t7, $t0, $t1       # d2
+        lw   $t0, 12($t9)
+        lw   $t1, 16($t9)
+        addu $t8, $t0, $t1       # s3
+        subu $t1, $t0, $t1       # d3
+        # stage 2 (even part): e0 = s0+s3, e1 = s1+s2, o0 = s0-s3, o1 = s1-s2
+        addu $t0, $t2, $t8
+        addu $v1, $t4, $t6
+        subu $t2, $t2, $t8
+        subu $t4, $t4, $t6
+        # coefficients: c0 = e0 + e1, c4 = e0 - e1 (DC and mid band)
+        addu $a0, $t0, $v1       # c0
+        subu $v1, $t0, $v1       # c4
+        # c2 = o0*3 + o1 (cheap rotation approximation, uses multiplier)
+        li   $t6, 3
+        mult $t2, $t6
+        mflo $t0
+        addu $t2, $t0, $t4
+        # odd part: c1 = d0*2 + d1, c3 = d2 - d3, c5 = d1 - d3, c7 = d0 - d2
+        sll  $t0, $t3, 1
+        addu $t4, $t0, $t5       # c1
+        subu $t6, $t7, $t1       # c3
+        subu $t5, $t5, $t1       # c5
+        subu $t7, $t3, $t7       # c7
+        # quantize (>> 3) and store 8 halfword coefficients
+        sra  $t0, $a0, 3
+        sh   $t0, 0($a2)
+        addu $s7, $s7, $t0
+        sra  $t0, $t4, 3
+        sh   $t0, 2($a2)
+        xor  $s7, $s7, $t0
+        sra  $t0, $t2, 3
+        sh   $t0, 4($a2)
+        addu $s7, $s7, $t0
+        sra  $t0, $t6, 3
+        sh   $t0, 6($a2)
+        xor  $s7, $s7, $t0
+        sra  $t0, $v1, 3
+        sh   $t0, 8($a2)
+        addu $s7, $s7, $t0
+        sra  $t0, $t5, 3
+        sh   $t0, 10($a2)
+        xor  $s7, $s7, $t0
+        sra  $t0, $t3, 3
+        sh   $t0, 12($a2)
+        addu $s7, $s7, $t0
+        sra  $t0, $t7, 3
+        sh   $t0, 14($a2)
+        xor  $s7, $s7, $t0
+        # next row of the block
+        addiu $a1, $a1, DIM
+        addiu $a2, $a2, {2 * dim}
+        addiu $a3, $a3, 1
+        slti $t0, $a3, 8
+        bne  $t0, $0, trow
+        jr   $ra
+{rand_asm(seed=0x1DC70001)}
+{epilogue("ijpeg")}
+"""

@@ -1,0 +1,250 @@
+"""Classic kernels: small, independently-checkable assembly programs.
+
+Unlike the benchmark suite (which mimics SPEC behaviours), these are
+textbook algorithms whose results can be verified against Python
+implementations — the strongest possible end-to-end check of the
+assembler + emulator, and handy self-contained inputs for the timing
+simulator.  Each builder returns assembly whose program prints a result
+that the host can recompute exactly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue
+
+
+def fibonacci(n: int = 25) -> str:
+    """Iterative Fibonacci; prints fib(n) mod 2^32 (as the checksum)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return f"""
+# fib({n}) via iteration
+        .text
+main:   li   $t0, 0              # fib(0)
+        li   $t1, 1              # fib(1)
+        li   $t2, {n}
+floop:  addu $t3, $t0, $t1
+        move $t0, $t1
+        move $t1, $t3
+        addiu $t2, $t2, -1
+        bgtz $t2, floop
+        move $s7, $t0
+        j    finish
+{epilogue("fib")}
+"""
+
+
+def sieve(limit: int = 1000) -> str:
+    """Sieve of Eratosthenes; prints the number of primes <= limit."""
+    if not 10 <= limit <= 65535:
+        raise ValueError("limit must be in [10, 65535]")
+    return f"""
+# count primes below {limit}
+        .data
+flags:  .space {limit + 1}
+        .text
+main:   la   $s0, flags
+        li   $s1, {limit}
+        li   $t0, 2              # candidate
+outer:  addu $t1, $s0, $t0
+        lbu  $t2, 0($t1)
+        bne  $t2, $0, next       # composite
+        # mark multiples
+        addu $t3, $t0, $t0       # 2*candidate
+mark:   slt  $t4, $s1, $t3
+        bne  $t4, $0, next
+        addu $t5, $s0, $t3
+        li   $t6, 1
+        sb   $t6, 0($t5)
+        addu $t3, $t3, $t0
+        b    mark
+next:   addiu $t0, $t0, 1
+        slt  $t4, $s1, $t0
+        beq  $t4, $0, outer
+        # count zeros from 2..limit
+        li   $s7, 0
+        li   $t0, 2
+count:  addu $t1, $s0, $t0
+        lbu  $t2, 0($t1)
+        bne  $t2, $0, notp
+        addiu $s7, $s7, 1
+notp:   addiu $t0, $t0, 1
+        slt  $t4, $s1, $t0
+        beq  $t4, $0, count
+        j    finish
+{epilogue("sieve")}
+"""
+
+
+def crc32(data: bytes) -> str:
+    """Bitwise CRC-32 (IEEE 802.3, reflected) over *data*.
+
+    The printed checksum equals Python's ``binascii.crc32(data)``
+    (interpreted as a signed 32-bit integer by the print syscall).
+    """
+    if not data or len(data) > 2048:
+        raise ValueError("data must be 1..2048 bytes")
+    byte_list = ", ".join(str(b) for b in data)
+    return f"""
+# CRC-32 (bitwise, reflected polynomial 0xEDB88320) over {len(data)} bytes
+        .data
+        .align 2
+data:   .byte {byte_list}
+        .text
+main:   la   $s0, data
+        li   $s1, {len(data)}
+        li   $s2, -1             # crc = 0xFFFFFFFF
+        li   $s3, 0xEDB88320
+cbyte:  lbu  $t0, 0($s0)
+        xor  $s2, $s2, $t0
+        li   $t1, 8
+cbit:   andi $t2, $s2, 1
+        srl  $s2, $s2, 1
+        beq  $t2, $0, noxor
+        xor  $s2, $s2, $s3
+noxor:  addiu $t1, $t1, -1
+        bgtz $t1, cbit
+        addiu $s0, $s0, 1
+        addiu $s1, $s1, -1
+        bgtz $s1, cbyte
+        nor  $s7, $s2, $0        # final xor with 0xFFFFFFFF
+        j    finish
+{epilogue("crc32")}
+"""
+
+
+def bubble_sort(values: list[int]) -> str:
+    """Bubble sort; prints a rolling hash of the sorted array."""
+    if not values or len(values) > 512:
+        raise ValueError("values must have 1..512 elements")
+    if any(not -0x8000_0000 <= v < 0x8000_0000 for v in values):
+        raise ValueError("values must be 32-bit")
+    words = ", ".join(str(v & 0xFFFFFFFF) for v in values)
+    n = len(values)
+    return f"""
+# bubble sort of {n} words, then hash
+        .data
+        .align 2
+arr:    .word {words}
+        .text
+main:   la   $s0, arr
+        li   $s1, {n}
+        addiu $t9, $s1, -1       # passes
+opass:  blez $t9, hash
+        li   $t0, 0              # index
+ipass:  sll  $t1, $t0, 2
+        addu $t2, $s0, $t1
+        lw   $t3, 0($t2)
+        lw   $t4, 4($t2)
+        slt  $t5, $t4, $t3       # signed compare
+        beq  $t5, $0, noswap
+        sw   $t4, 0($t2)
+        sw   $t3, 4($t2)
+noswap: addiu $t0, $t0, 1
+        slt  $t5, $t0, $t9
+        bne  $t5, $0, ipass
+        addiu $t9, $t9, -1
+        b    opass
+hash:   li   $s7, 0
+        li   $t0, 0
+hloop:  sll  $t1, $t0, 2
+        addu $t2, $s0, $t1
+        lw   $t3, 0($t2)
+        sll  $t4, $s7, 5
+        subu $t4, $t4, $s7       # hash * 31
+        addu $s7, $t4, $t3
+        addiu $t0, $t0, 1
+        slt  $t5, $t0, $s1
+        bne  $t5, $0, hloop
+        j    finish
+{epilogue("sort")}
+"""
+
+
+def gcd(a: int, b: int) -> str:
+    """Euclid's algorithm by repeated subtraction; prints gcd(a, b)."""
+    if a <= 0 or b <= 0 or a >= 2**31 or b >= 2**31:
+        raise ValueError("a, b must be positive 31-bit integers")
+    return f"""
+# gcd({a}, {b}) by subtraction
+        .text
+main:   li   $t0, {a}
+        li   $t1, {b}
+gloop:  beq  $t0, $t1, done
+        slt  $t2, $t0, $t1
+        bne  $t2, $0, swap
+        subu $t0, $t0, $t1
+        b    gloop
+swap:   subu $t1, $t1, $t0
+        b    gloop
+done:   move $s7, $t0
+        j    finish
+{epilogue("gcd")}
+"""
+
+
+def matmul(n: int = 8, seed: int = 7) -> str:
+    """Dense n×n integer matrix multiply; prints the trace of C=A·B.
+
+    Matrices are generated at assembly time from a tiny LCG so the host
+    can recompute the expected value exactly.
+    """
+    if not 2 <= n <= 24:
+        raise ValueError("n must be in [2, 24]")
+    a, b = host_matrices(n, seed)
+    a_words = ", ".join(str(v) for row in a for v in row)
+    b_words = ", ".join(str(v) for row in b for v in row)
+    return f"""
+# {n}x{n} integer matmul, trace of the product
+        .equ N, {n}
+        .data
+        .align 2
+A:      .word {a_words}
+B:      .word {b_words}
+        .text
+main:   li   $s7, 0
+        li   $s1, 0              # i
+iloop:  li   $s2, 0              # j == i for trace: only compute C[i][i]
+        li   $s3, 0              # k
+        li   $s4, 0              # acc
+kloop:  li   $t0, N
+        mult $s1, $t0
+        mflo $t1
+        addu $t1, $t1, $s3       # i*N + k
+        sll  $t1, $t1, 2
+        la   $t2, A
+        addu $t2, $t2, $t1
+        lw   $t3, 0($t2)         # A[i][k]
+        li   $t0, N
+        mult $s3, $t0
+        mflo $t1
+        addu $t1, $t1, $s1       # k*N + i
+        sll  $t1, $t1, 2
+        la   $t2, B
+        addu $t2, $t2, $t1
+        lw   $t4, 0($t2)         # B[k][i]
+        mult $t3, $t4
+        mflo $t5
+        addu $s4, $s4, $t5
+        addiu $s3, $s3, 1
+        slti $t0, $s3, N
+        bne  $t0, $0, kloop
+        addu $s7, $s7, $s4       # trace += C[i][i]
+        addiu $s1, $s1, 1
+        slti $t0, $s1, N
+        bne  $t0, $0, iloop
+        j    finish
+{epilogue("matmul")}
+"""
+
+
+def host_matrices(n: int, seed: int) -> tuple[list[list[int]], list[list[int]]]:
+    """The matrices :func:`matmul` embeds (host-side oracle)."""
+    state = seed
+    def nxt() -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        return state % 17  # small values: products stay well in range
+    a = [[nxt() for _ in range(n)] for _ in range(n)]
+    b = [[nxt() for _ in range(n)] for _ in range(n)]
+    return a, b

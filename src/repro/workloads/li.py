@@ -1,0 +1,169 @@
+"""Synthetic ``li``: cons-cell interpreter with a mark/sweep pass.
+
+Reproduces the paper's Figure 5 hot spot exactly: the mark loop tests a
+flag byte with ``lbu``/``andi``/``bne`` against zero, the branch whose
+misprediction is detectable from bit 0 alone.  Cells are 12 bytes
+(tag byte, flags byte at offset 1, car word, cdr pointer); lists are
+threaded pseudo-randomly through the heap; each iteration marks from
+every root, then sweeps, then sums cars along each list.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 3
+_NUM_CELLS = 8192
+_CELL_SIZE = 12
+_NUM_ROOTS = 32
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the li workload with *iters* GC+eval cycles.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    cells = scaled_size(_NUM_CELLS, div)
+    return f"""
+# li: cons cells, mark/sweep, list evaluation
+        .equ NCELLS, {cells}
+        .equ CSIZE, {_CELL_SIZE}
+        .data
+        .align 2
+heap:   .space {cells * _CELL_SIZE}
+roots:  .space {_NUM_ROOTS * 4}
+        .text
+main:   la   $s0, heap
+        la   $s1, roots
+        li   $s7, 0
+
+# --- build: thread lists through the heap ------------------------------
+        # every cell: tag = low rand bits, car = small value, cdr = next
+        li   $s3, 0              # cell index
+build:  sll  $t0, $s3, 3
+        sll  $t1, $s3, 2
+        addu $t0, $t0, $t1       # idx * 12
+        addu $t0, $s0, $t0       # cell addr
+        jal  rand
+        andi $t1, $v0, 0x7f
+        sb   $t1, 0($t0)         # tag
+        sb   $0, 1($t0)          # flags = 0
+        jal  rand
+        andi $t1, $v0, 0xff
+        sw   $t1, 4($t0)         # car
+        # cdr -> pseudo-random successor, nil if rand low bits are 0
+        jal  rand
+        andi $t1, $v0, {cells - 1}
+        andi $t2, $v0, 0x1f
+        beq  $t2, $0, set_nil
+        sll  $t3, $t1, 3
+        sll  $t4, $t1, 2
+        addu $t3, $t3, $t4
+        addu $t3, $s0, $t3
+        sw   $t3, 8($t0)
+        b    built
+set_nil:
+        sw   $0, 8($t0)
+built:  addiu $s3, $s3, 1
+        slti $t0, $s3, NCELLS
+        bne  $t0, $0, build
+
+        # roots: every 64th cell
+        li   $s3, 0
+rootl:  sll  $t0, $s3, 6         # s3 * 64 cell index
+        sll  $t1, $t0, 3
+        sll  $t2, $t0, 2
+        addu $t1, $t1, $t2
+        addu $t1, $s0, $t1
+        sll  $t3, $s3, 2
+        addu $t3, $s1, $t3
+        sw   $t1, 0($t3)
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {_NUM_ROOTS}
+        bne  $t0, $0, rootl
+
+        li   $s6, {iters}
+gc_iter:
+
+# --- mark phase: Figure 5 idiom ----------------------------------------
+        li   $s3, 0              # root index
+mark_roots:
+        sll  $t0, $s3, 2
+        addu $t0, $s1, $t0
+        lw   $s4, 0($t0)         # this = root
+mark_walk:
+        beq  $s4, $0, mark_next  # nil
+        lbu  $t1, 1($s4)         # lbu  $3, 1($16)
+        andi $t2, $t1, 0x0001    # andi $2, $3, 0x0001
+        bne  $t2, $0, mark_next  # bne  $2, $0, $L110  (already marked)
+        ori  $t1, $t1, 0x0001    # this->n_flags |= MARK
+        sb   $t1, 1($s4)
+        lw   $s4, 8($s4)         # this = this->cdr
+        b    mark_walk
+mark_next:
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {_NUM_ROOTS}
+        bne  $t0, $0, mark_roots
+
+# --- sweep phase: clear marks, count marked cells -----------------------
+        li   $s3, 0
+        li   $s5, 0              # marked count
+sweep:  sll  $t0, $s3, 3
+        sll  $t1, $s3, 2
+        addu $t0, $t0, $t1
+        addu $t0, $s0, $t0
+        lbu  $t1, 1($t0)
+        andi $t2, $t1, 0x0001
+        beq  $t2, $0, swept
+        addiu $s5, $s5, 1
+        andi $t1, $t1, 0xfe
+        sb   $t1, 1($t0)
+swept:  addiu $s3, $s3, 1
+        slti $t0, $s3, NCELLS
+        bne  $t0, $0, sweep
+        addu $s7, $s7, $s5
+
+# --- eval phase: sum cars along each root list (bounded walk) -----------
+        li   $s3, 0
+eval_roots:
+        sll  $t0, $s3, 2
+        addu $t0, $s1, $t0
+        lw   $s4, 0($t0)
+        li   $t7, 64             # walk bound (lists may cycle)
+eval_walk:
+        beq  $s4, $0, eval_next
+        beq  $t7, $0, eval_next
+        lw   $t1, 4($s4)         # car
+        addu $s7, $s7, $t1
+        lw   $s4, 8($s4)         # cdr
+        addiu $t7, $t7, -1
+        b    eval_walk
+eval_next:
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {_NUM_ROOTS}
+        bne  $t0, $0, eval_roots
+
+        # rethread one random cdr so iterations differ
+        jal  rand
+        andi $t1, $v0, {cells - 1}
+        sll  $t0, $t1, 3
+        sll  $t2, $t1, 2
+        addu $t0, $t0, $t2
+        addu $t0, $s0, $t0
+        jal  rand
+        andi $t1, $v0, {cells - 1}
+        sll  $t3, $t1, 3
+        sll  $t4, $t1, 2
+        addu $t3, $t3, $t4
+        addu $t3, $s0, $t3
+        sw   $t3, 8($t0)
+
+        addiu $s6, $s6, -1
+        bgtz $s6, gc_iter
+        j    finish
+{rand_asm(seed=0x00C0FFEE)}
+{epilogue("li")}
+"""

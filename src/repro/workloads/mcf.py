@@ -1,0 +1,104 @@
+"""Synthetic ``mcf``: reduced-cost relaxation over network arcs.
+
+Mirrors min-cost-flow's hot loop: streaming through an arc array of
+(tail, head, cost) records, two dependent indexed loads of node
+potentials per arc, a signed compare, and occasional potential updates
+— a memory-bound, branchy kernel like the original.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 2
+_NUM_NODES = 4096
+_NUM_ARCS = 16384
+_ARC_SIZE = 12  # tail, head, cost words
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the mcf workload with *iters* relaxation sweeps.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    nodes = scaled_size(_NUM_NODES, div)
+    arcs = scaled_size(_NUM_ARCS, div)
+    return f"""
+# mcf: arc relaxation over {arcs} arcs / {nodes} nodes
+        .data
+        .align 2
+arcs:   .space {arcs * _ARC_SIZE}
+potential: .space {nodes * 4}
+        .text
+main:   la   $s0, arcs
+        la   $s1, potential
+        li   $s7, 0
+
+# --- build random arcs ----------------------------------------------------
+        li   $s3, 0
+abuild: sll  $t0, $s3, 3
+        sll  $t1, $s3, 2
+        addu $t0, $t0, $t1       # idx * 12
+        addu $t0, $s0, $t0
+        jal  rand
+        andi $t1, $v0, {nodes - 1}
+        sw   $t1, 0($t0)         # tail
+        jal  rand
+        andi $t1, $v0, {nodes - 1}
+        sw   $t1, 4($t0)         # head
+        jal  rand
+        andi $t1, $v0, 0x3ff
+        addiu $t1, $t1, -512     # cost in [-512, 511]
+        sw   $t1, 8($t0)
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {arcs}
+        bne  $t1, $0, abuild
+
+# --- initial potentials ----------------------------------------------------
+        li   $s3, 0
+pinit:  sll  $t0, $s3, 2
+        addu $t0, $s1, $t0
+        jal  rand
+        andi $t1, $v0, 0xff
+        sw   $t1, 0($t0)
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {nodes}
+        bne  $t1, $0, pinit
+
+        li   $s6, {iters}
+sweep_iter:
+        li   $s3, 0              # arc index
+        move $s4, $s0            # arc cursor
+arc_loop:
+        lw   $t0, 0($s4)         # tail
+        lw   $t1, 4($s4)         # head
+        lw   $t2, 8($s4)         # cost
+        sll  $t0, $t0, 2
+        addu $t0, $s1, $t0
+        lw   $t3, 0($t0)         # pot[tail]   (dependent load)
+        sll  $t1, $t1, 2
+        addu $t1, $s1, $t1
+        lw   $t4, 0($t1)         # pot[head]   (dependent load)
+        addu $t5, $t2, $t3
+        subu $t5, $t5, $t4       # reduced cost
+        bgez $t5, arc_next       # non-negative: nothing to do
+        # negative reduced cost: pull head potential halfway toward legality
+        sra  $t6, $t5, 1
+        addu $t4, $t4, $t6
+        sw   $t4, 0($t1)
+        xor  $s7, $s7, $t5
+        addiu $s7, $s7, 1
+arc_next:
+        addiu $s4, $s4, {_ARC_SIZE}
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {arcs}
+        bne  $t0, $0, arc_loop
+        addiu $s6, $s6, -1
+        bgtz $s6, sweep_iter
+        j    finish
+{rand_asm(seed=0x00FC0FFE)}
+{epilogue("mcf")}
+"""

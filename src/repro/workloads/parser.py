@@ -1,0 +1,154 @@
+"""Synthetic ``parser``: dictionary hash lookup with string compares.
+
+Mirrors the link parser's dictionary phase: a stream of words looked up
+in a chained hash table, with a byte-by-byte string-compare inner loop
+(``lbu``/``lbu``/``bne``) and insertions of unseen words.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 4
+_NUM_WORDS = 512       # vocabulary size
+_WORD_BYTES = 12      # fixed-size slots, NUL-padded
+_NUM_BUCKETS = 128     # power of two
+_STREAM_LEN = 512     # words looked up per pass
+# dictionary entry: word copy (12) + next ptr (4) = 16 bytes
+_ENTRY_SIZE = 16
+_MAX_ENTRIES = 1024
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the parser workload with *iters* stream passes.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    words = scaled_size(_NUM_WORDS, div)
+    entries = scaled_size(_MAX_ENTRIES, div)
+    return f"""
+# parser: hash-chained dictionary over a {words}-word vocabulary
+        .data
+        .align 2
+vocab:  .space {words * _WORD_BYTES}
+buckets: .space {_NUM_BUCKETS * 4}
+entries: .space {entries * _ENTRY_SIZE}
+nextent: .word 0
+        .text
+main:   la   $s0, vocab
+        la   $s1, buckets
+        la   $s2, entries
+        li   $s7, 0
+
+# --- build vocabulary: words of 3..10 lowercase letters --------------------
+        li   $s3, 0
+vbuild: sll  $t0, $s3, 3
+        sll  $t1, $s3, 2
+        addu $t0, $t0, $t1       # idx * 12
+        addu $t0, $s0, $t0       # slot
+        jal  rand
+        andi $t2, $v0, 7
+        addiu $t2, $t2, 3        # length 3..10
+        li   $t3, 0              # char index
+vchar:  jal  rand
+        andi $t4, $v0, 25
+        addiu $t4, $t4, 97
+        addu $t5, $t0, $t3
+        sb   $t4, 0($t5)
+        addiu $t3, $t3, 1
+        slt  $t6, $t3, $t2
+        bne  $t6, $0, vchar
+        addu $t5, $t0, $t3
+        sb   $0, 0($t5)          # NUL terminate
+        addiu $s3, $s3, 1
+        slti $t6, $s3, {words}
+        bne  $t6, $0, vbuild
+
+        li   $s6, {iters}
+piter:  jal  lookup_stream
+        addiu $s6, $s6, -1
+        bgtz $s6, piter
+        j    finish
+
+# --- look up {_STREAM_LEN} random words --------------------------------------
+lookup_stream:
+        move $s5, $ra
+        li   $s3, 0
+lsloop: jal  rand
+        andi $t0, $v0, {words - 1}
+        sll  $t1, $t0, 3
+        sll  $t2, $t0, 2
+        addu $t1, $t1, $t2
+        addu $a0, $s0, $t1       # word pointer
+        jal  dict_lookup
+        addu $s7, $s7, $v1       # v1 = entry count for word
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {_STREAM_LEN}
+        bne  $t0, $0, lsloop
+        jr   $s5
+
+# --- hash+chain lookup; $a0 = word; returns chain hits in $v1 ---------------
+dict_lookup:
+        # hash = sum of bytes * 31 rolling
+        li   $t0, 0              # hash
+        move $t1, $a0
+dhash:  lbu  $t2, 0($t1)
+        beq  $t2, $0, dhashed
+        sll  $t3, $t0, 5
+        subu $t3, $t3, $t0       # hash * 31
+        addu $t0, $t3, $t2
+        addiu $t1, $t1, 1
+        b    dhash
+dhashed:
+        andi $t0, $t0, {_NUM_BUCKETS - 1}
+        sll  $t0, $t0, 2
+        addu $t0, $s1, $t0       # &buckets[h]
+        lw   $t1, 0($t0)         # entry ptr (0 = empty)
+        li   $v1, 0
+dchain: beq  $t1, $0, dinsert
+        # string compare entry word vs $a0
+        move $t2, $t1            # entry word bytes
+        move $t3, $a0
+dscmp:  lbu  $t4, 0($t2)
+        lbu  $t5, 0($t3)
+        bne  $t4, $t5, dnomatch
+        beq  $t4, $0, dfound     # both NUL: equal
+        addiu $t2, $t2, 1
+        addiu $t3, $t3, 1
+        b    dscmp
+dnomatch:
+        addiu $v1, $v1, 1        # chain position feeds checksum
+        lw   $t1, {_WORD_BYTES}($t1) # next entry
+        b    dchain
+dfound: addiu $v1, $v1, 1
+        jr   $ra
+dinsert:
+        # allocate a new entry (bounded), copy word, link at bucket head
+        la   $t6, nextent
+        lw   $t7, 0($t6)
+        slti $t8, $t7, {entries}
+        beq  $t8, $0, dfull      # arena exhausted: count miss only
+        addiu $t5, $t7, 1
+        sw   $t5, 0($t6)
+        sll  $t5, $t7, 4         # * {_ENTRY_SIZE}
+        addu $t5, $s2, $t5       # new entry
+        # copy word ({_WORD_BYTES} bytes)
+        li   $t7, 0
+dcopy:  addu $t2, $a0, $t7
+        lbu  $t3, 0($t2)
+        addu $t2, $t5, $t7
+        sb   $t3, 0($t2)
+        addiu $t7, $t7, 1
+        slti $t2, $t7, {_WORD_BYTES}
+        bne  $t2, $0, dcopy
+        lw   $t2, 0($t0)
+        sw   $t2, {_WORD_BYTES}($t5)  # next = old head
+        sw   $t5, 0($t0)         # bucket head = new
+dfull:  addiu $v1, $v1, 2
+        jr   $ra
+{rand_asm(seed=0x9A15E501)}
+{epilogue("parser")}
+"""

@@ -1,0 +1,168 @@
+"""Synthetic ``twolf``: annealing-style cell swap and cost evaluation.
+
+Mirrors the placer's inner loop: pick two cells pseudo-randomly,
+compute the half-perimeter wirelength delta against each cell's
+connected neighbors (absolute differences, branchy accepts), and swap
+positions when the move helps or a random threshold allows it.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 600
+_NUM_CELLS = 2048  # power of two
+_NUM_NEIGHBORS = 4
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the twolf workload with *iters* attempted moves.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    cells = scaled_size(_NUM_CELLS, div)
+    return f"""
+# twolf: annealing moves over {cells} placed cells
+        .data
+        .align 2
+xs:     .space {cells * 4}
+ys:     .space {cells * 4}
+nets:   .space {cells * _NUM_NEIGHBORS * 4}  # neighbor cell ids
+        .text
+main:   la   $s0, xs
+        la   $s1, ys
+        la   $s2, nets
+        li   $s7, 0
+
+# --- random placement -------------------------------------------------------
+        li   $s3, 0
+place:  sll  $t0, $s3, 2
+        jal  rand
+        andi $t1, $v0, 0x3ff
+        addu $t2, $s0, $t0
+        sw   $t1, 0($t2)
+        jal  rand
+        andi $t1, $v0, 0x3ff
+        addu $t2, $s1, $t0
+        sw   $t1, 0($t2)
+        # neighbors
+        li   $t3, 0
+nbr:    sll  $t4, $s3, {_NUM_NEIGHBORS.bit_length() + 1}
+        sll  $t5, $t3, 2
+        addu $t4, $t4, $t5
+        addu $t4, $s2, $t4
+        jal  rand
+        andi $t5, $v0, {cells - 1}
+        sw   $t5, 0($t4)
+        addiu $t3, $t3, 1
+        slti $t5, $t3, {_NUM_NEIGHBORS}
+        bne  $t5, $0, nbr
+        addiu $s3, $s3, 1
+        slti $t0, $s3, {cells}
+        bne  $t0, $0, place
+
+        li   $s6, {iters}
+anneal: # pick cells a ($s3) and b ($s4)
+        jal  rand
+        andi $s3, $v0, {cells - 1}
+        jal  rand
+        andi $s4, $v0, {cells - 1}
+        # cost of a at its position + cost of b at its position
+        move $a0, $s3
+        jal  cell_cost
+        move $s5, $v1
+        move $a0, $s4
+        jal  cell_cost
+        addu $s5, $s5, $v1       # old cost
+        # swap positions
+        sll  $t0, $s3, 2
+        sll  $t1, $s4, 2
+        addu $t2, $s0, $t0
+        addu $t3, $s0, $t1
+        lw   $t4, 0($t2)
+        lw   $t5, 0($t3)
+        sw   $t5, 0($t2)
+        sw   $t4, 0($t3)
+        addu $t2, $s1, $t0
+        addu $t3, $s1, $t1
+        lw   $t4, 0($t2)
+        lw   $t5, 0($t3)
+        sw   $t5, 0($t2)
+        sw   $t4, 0($t3)
+        # new cost
+        move $a0, $s3
+        jal  cell_cost
+        move $a1, $v1
+        move $a0, $s4
+        jal  cell_cost
+        addu $a1, $a1, $v1
+        subu $t6, $a1, $s5       # delta
+        blez $t6, accept         # improvement: keep
+        # uphill: accept with small random probability (temperature-ish)
+        jal  rand
+        andi $t7, $v0, 0x1f
+        slti $t7, $t7, 3
+        bne  $t7, $0, accept
+        # reject: swap back
+        sll  $t0, $s3, 2
+        sll  $t1, $s4, 2
+        addu $t2, $s0, $t0
+        addu $t3, $s0, $t1
+        lw   $t4, 0($t2)
+        lw   $t5, 0($t3)
+        sw   $t5, 0($t2)
+        sw   $t4, 0($t3)
+        addu $t2, $s1, $t0
+        addu $t3, $s1, $t1
+        lw   $t4, 0($t2)
+        lw   $t5, 0($t3)
+        sw   $t5, 0($t2)
+        sw   $t4, 0($t3)
+        b    next_move
+accept: addu $s7, $s7, $t6
+next_move:
+        addiu $s6, $s6, -1
+        bgtz $s6, anneal
+        j    finish
+
+# --- wirelength of cell $a0 against its neighbors; result in $v1 ------------
+cell_cost:
+        sll  $t0, $a0, 2
+        addu $t1, $s0, $t0
+        lw   $t2, 0($t1)         # x
+        addu $t1, $s1, $t0
+        lw   $t3, 0($t1)         # y
+        li   $v1, 0
+        li   $t4, 0              # neighbor index
+cc_loop:
+        sll  $t5, $a0, {_NUM_NEIGHBORS.bit_length() + 1}
+        sll  $t6, $t4, 2
+        addu $t5, $t5, $t6
+        addu $t5, $s2, $t5
+        lw   $t5, 0($t5)         # neighbor id
+        sll  $t5, $t5, 2
+        addu $t6, $s0, $t5
+        lw   $t7, 0($t6)         # nx
+        addu $t6, $s1, $t5
+        lw   $t6, 0($t6)         # ny
+        # |x - nx| branchless: d = x-nx; m = d>>31; |d| = (d^m)-m
+        subu $t7, $t2, $t7
+        sra  $t8, $t7, 31
+        xor  $t7, $t7, $t8
+        subu $t7, $t7, $t8
+        addu $v1, $v1, $t7
+        subu $t6, $t3, $t6
+        sra  $t8, $t6, 31
+        xor  $t6, $t6, $t8
+        subu $t6, $t6, $t8
+        addu $v1, $v1, $t6
+        addiu $t4, $t4, 1
+        slti $t5, $t4, {_NUM_NEIGHBORS}
+        bne  $t5, $0, cc_loop
+        jr   $ra
+{rand_asm(seed=0x20F0F001)}
+{epilogue("twolf")}
+"""

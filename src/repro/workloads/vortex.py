@@ -1,0 +1,90 @@
+"""Synthetic ``vortex``: pointer-rich object store traversal.
+
+Reproduces the paper's Figure 9 address-generation idiom: record
+addresses formed by ``sll`` (index scaling), ``lui`` (segment base) and
+``addu``, followed by ``lw`` with a large displacement, then short
+pointer chases through ``next`` links and field updates — the OO
+database access pattern of the original.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm, scaled_size
+
+MAX_FOOTPRINT_DIVISOR = 4
+DEFAULT_ITERS = 3500
+_NUM_RECORDS = 8192   # power of two
+_RECORD_SHIFT = 5    # 32-byte records
+# record layout: +0 key, +4 value, +8 next index, +12 hits, rest pad
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the vortex workload with *iters* transactions.
+
+    *footprint_divisor* shrinks the data footprint (power of two),
+    giving the SPEC-style test/train/ref input profiles.
+    """
+    div = min(footprint_divisor, MAX_FOOTPRINT_DIVISOR)
+    records = scaled_size(_NUM_RECORDS, div)
+    return f"""
+# vortex: object store of {records} 32-byte records
+        .data
+        .align 2
+store:  .space {records * (1 << _RECORD_SHIFT)}
+        .text
+main:   la   $s0, store
+        li   $s7, 0
+
+# --- initialize records ------------------------------------------------------
+        li   $s3, 0
+vinit:  sll  $t0, $s3, {_RECORD_SHIFT}
+        addu $t0, $s0, $t0
+        jal  rand
+        andi $t1, $v0, 0xffff
+        sw   $t1, 0($t0)         # key
+        jal  rand
+        andi $t1, $v0, 0xff
+        sw   $t1, 4($t0)         # value
+        jal  rand
+        andi $t1, $v0, {records - 1}
+        sw   $t1, 8($t0)         # next index
+        sw   $0, 12($t0)         # hits
+        addiu $s3, $s3, 1
+        slti $t1, $s3, {records}
+        bne  $t1, $0, vinit
+
+        li   $s6, {iters}
+txn:    # pick a record index, form its address Figure-9 style
+        jal  rand
+        andi $s3, $v0, {records - 1}
+        sll  $t0, $s3, {_RECORD_SHIFT}   # sll: scale index
+        la   $t1, store                  # lui/ori: segment base
+        addu $t1, $t1, $t0               # addu: record address
+        lw   $t2, 4($t1)                 # lw: value field
+        addu $s7, $s7, $t2
+        # chase next links three deep, bumping hit counters
+        li   $t7, 3
+chase:  lw   $t3, 8($t1)                 # next index
+        sll  $t3, $t3, {_RECORD_SHIFT}
+        la   $t1, store
+        addu $t1, $t1, $t3
+        lw   $t4, 12($t1)                # hits
+        addiu $t4, $t4, 1
+        sw   $t4, 12($t1)
+        lw   $t2, 0($t1)                 # key
+        xor  $s7, $s7, $t2
+        addiu $t7, $t7, -1
+        bgtz $t7, chase
+        # occasionally rewrite a next pointer (store mutation)
+        andi $t5, $s6, 0x7
+        bne  $t5, $0, txn_next
+        jal  rand
+        andi $t5, $v0, {records - 1}
+        sw   $t5, 8($t1)
+txn_next:
+        addiu $s6, $s6, -1
+        bgtz $s6, txn
+        j    finish
+{rand_asm(seed=0x0B1EC701)}
+{epilogue("vortex")}
+"""

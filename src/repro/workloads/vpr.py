@@ -1,0 +1,125 @@
+"""Synthetic ``vpr``: wavefront expansion over a routing grid.
+
+Mirrors the router's maze expansion: a FIFO work queue in memory, cost
+array updates with bounds-checked neighbor visits, and repeated
+route attempts from pseudo-random sources — a mix of queue pointer
+arithmetic, short dependent load chains, and branchy comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import epilogue, rand_asm
+
+MAX_FOOTPRINT_DIVISOR = 1
+DEFAULT_ITERS = 4
+_DIM = 32           # grid is _DIM x _DIM
+_QUEUE_CAP = 4096   # words
+
+
+def source(iters: int = DEFAULT_ITERS, footprint_divisor: int = 1) -> str:
+    """Assembly source for the vpr workload with *iters* route attempts.
+
+    The board/grid size is intrinsic to this kernel, so
+    *footprint_divisor* is accepted but has no effect.
+    """
+    return f"""
+# vpr: BFS wavefront over a {_DIM}x{_DIM} routing grid
+        .equ DIM, {_DIM}
+        .equ GRID, {_DIM * _DIM}
+        .data
+        .align 2
+cost:   .space {_DIM * _DIM * 4}
+queue:  .space {_QUEUE_CAP * 4}
+        .text
+main:   la   $s0, cost
+        la   $s1, queue
+        li   $s7, 0
+
+        li   $s6, {iters}
+route:  # reset cost array to "infinity" (0x7fff)
+        li   $t0, 0
+        li   $t1, 0x7fff
+rinit:  sll  $t2, $t0, 2
+        addu $t2, $s0, $t2
+        sw   $t1, 0($t2)
+        addiu $t0, $t0, 1
+        slti $t2, $t0, GRID
+        bne  $t2, $0, rinit
+
+        # seed: random source cell at cost 0
+        jal  rand
+        andi $t0, $v0, {_DIM * _DIM - 1}
+        sll  $t1, $t0, 2
+        addu $t1, $s0, $t1
+        sw   $0, 0($t1)
+        sw   $t0, 0($s1)         # queue[0] = seed
+        li   $s2, 0              # head
+        li   $s3, 1              # tail
+
+bfs:    slt  $t0, $s2, $s3
+        beq  $t0, $0, bfs_done   # queue empty
+        sll  $t0, $s2, 2
+        addu $t0, $s1, $t0
+        lw   $s4, 0($t0)         # cell = queue[head]
+        addiu $s2, $s2, 1
+        sll  $t1, $s4, 2
+        addu $t1, $s0, $t1
+        lw   $s5, 0($t1)         # cost[cell]
+        addiu $s5, $s5, 1        # neighbor cost
+        # decompose cell into row/col
+        srl  $t2, $s4, 5         # row  (DIM = 32)
+        andi $t3, $s4, 31        # col
+        # west
+        blez $t3, try_east
+        addiu $a0, $s4, -1
+        jal  visit
+try_east:
+        addiu $t4, $t3, 1
+        slti $t5, $t4, DIM
+        beq  $t5, $0, try_north
+        addiu $a0, $s4, 1
+        jal  visit
+try_north:
+        blez $t2, try_south
+        addiu $a0, $s4, -DIM
+        jal  visit
+try_south:
+        addiu $t4, $t2, 1
+        slti $t5, $t4, DIM
+        beq  $t5, $0, bfs_next
+        addiu $a0, $s4, DIM
+        jal  visit
+bfs_next:
+        b    bfs
+bfs_done:
+        # sample a few final costs into the checksum
+        li   $t0, 0
+samp:   sll  $t1, $t0, 6         # every 16th cell (16 * 4 bytes)
+        addu $t1, $s0, $t1
+        lw   $t2, 0($t1)
+        addu $s7, $s7, $t2
+        addiu $t0, $t0, 1
+        slti $t2, $t0, {_DIM * _DIM // 16}
+        bne  $t2, $0, samp
+        addiu $s6, $s6, -1
+        bgtz $s6, route
+        j    finish
+
+# --- visit neighbor $a0 with candidate cost $s5 ------------------------------
+visit:  sll  $t6, $a0, 2
+        addu $t6, $s0, $t6
+        lw   $t7, 0($t6)         # current cost
+        slt  $t8, $s5, $t7
+        beq  $t8, $0, vret       # not an improvement
+        sw   $s5, 0($t6)
+        # push if queue has room
+        slti $t8, $s3, {_QUEUE_CAP}
+        beq  $t8, $0, vret
+        sll  $t8, $s3, 2
+        addu $t8, $s1, $t8
+        sw   $a0, 0($t8)
+        addiu $s3, $s3, 1
+vret:   jr   $ra
+{rand_asm(seed=0x09071E01)}
+{epilogue("vpr")}
+"""

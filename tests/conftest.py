@@ -1,0 +1,41 @@
+"""Shared fixtures: small, fast traces and programs for tests.
+
+Workload traces here use explicit tiny iteration counts and skip=0 so
+tests never trigger the (expensive) steady-state skip estimation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def small_traces():
+    """name → tuple of trace records (short, init-inclusive)."""
+
+    def collect(name: str, n: int = 4000, iters: int = 1):
+        machine = Machine(get_workload(name).build(iters))
+        return tuple(machine.trace(n))
+
+    return {
+        "bzip": collect("bzip"),
+        "li": collect("li"),
+        "mcf": collect("mcf"),
+        "vortex": collect("vortex"),
+    }
+
+
+@pytest.fixture()
+def asm_run():
+    """Helper: assemble source, run to halt, return the machine."""
+
+    def run(source: str, max_steps: int = 200_000) -> Machine:
+        machine = Machine(assemble(source))
+        machine.run(max_steps)
+        return machine
+
+    return run

@@ -1,0 +1,118 @@
+"""Trace analysis utilities."""
+
+from repro.emulator.analysis import TraceProfile, compare_profiles, profile_trace
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.isa.opclass import OpClass
+
+
+def _profile(src: str, n: int = 20_000) -> TraceProfile:
+    return profile_trace(Machine(assemble(src)).trace(n))
+
+
+def test_counts_and_fractions(small_traces):
+    profile = profile_trace(small_traces["bzip"])
+    assert profile.instructions == len(small_traces["bzip"])
+    assert 0 < profile.load_fraction < 1
+    assert 0 < profile.store_fraction < 1
+    assert 0 < profile.branch_fraction < 1
+    assert 0 < profile.taken_rate <= 1
+    assert profile.data_working_set > 0
+    assert profile.text_lines > 0
+
+
+def test_dependence_distance_tight_chain():
+    src = """
+    main: li $t0, 2000
+    loop: addiu $t0, $t0, -1
+          bgtz $t0, loop
+          halt
+    """
+    profile = _profile(src)
+    # Every loop instruction consumes the value produced 1-2
+    # instructions earlier.
+    assert profile.short_dependence_fraction(2) > 0.9
+    assert profile.mean_dependence_distance() < 4
+
+
+def test_dependence_distance_wide_code():
+    src = """
+    main: li $s0, 500
+    loop: addiu $t0, $0, 1
+          addiu $t1, $0, 2
+          addiu $t2, $0, 3
+          addiu $t3, $0, 4
+          addiu $t4, $0, 5
+          addiu $t5, $0, 6
+          addu  $t6, $t0, $t1
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    profile = _profile(src)
+    tight = _profile(
+        """
+        main: li $t0, 2000
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+    )
+    assert profile.mean_dependence_distance() > tight.mean_dependence_distance()
+
+
+def test_working_set_scales_with_footprint():
+    small = _profile(
+        """
+        main: li $s0, 2000
+              la $s1, buf
+        loop: lw $t0, 0($s1)
+              addiu $s0, $s0, -1
+              bgtz $s0, loop
+              halt
+        .data
+        buf: .space 64
+        .text
+        """
+    )
+    big = _profile(
+        """
+        main: li $s0, 2000
+              la $s1, buf
+              li $s2, 0
+        loop: sll $t1, $s2, 6
+              addu $t2, $s1, $t1
+              lw $t0, 0($t2)
+              addiu $s2, $s2, 1
+              andi $s2, $s2, 0x3ff
+              addiu $s0, $s0, -1
+              bgtz $s0, loop
+              halt
+        .data
+        buf: .space 65536
+        .text
+        """
+    )
+    assert big.data_working_set > small.data_working_set * 10
+
+
+def test_class_counts(small_traces):
+    profile = profile_trace(small_traces["li"])
+    assert profile.class_counts[OpClass.LOAD] > 0
+    assert profile.class_counts[OpClass.ARITH] > 0
+    assert sum(profile.class_counts.values()) == profile.instructions
+
+
+def test_summary_and_compare(small_traces):
+    a = profile_trace(small_traces["li"])
+    b = profile_trace(small_traces["mcf"])
+    assert "working set" in a.summary()
+    table = compare_profiles(a, b)
+    assert "loads" in table and "%" in table
+
+
+def test_empty_profile():
+    profile = profile_trace([])
+    assert profile.instructions == 0
+    assert profile.load_fraction == 0.0
+    assert profile.mean_dependence_distance() == 0.0

@@ -1,0 +1,248 @@
+"""Two-pass assembler: syntax, directives, pseudo-ops, relocation, errors."""
+
+import pytest
+
+from repro.isa.assembler import DATA_BASE, TEXT_BASE, AssemblerError, assemble
+from repro.isa.encoding import decode
+
+
+def _decode_all(program):
+    return [decode(w) for w in program.text]
+
+
+def test_empty_program():
+    program = assemble("")
+    assert program.text == []
+    assert program.entry == TEXT_BASE
+
+
+def test_simple_instruction_addresses():
+    program = assemble("main: addu $t0, $t1, $t2\n nop\n")
+    assert program.entry == TEXT_BASE
+    assert len(program.text) == 2
+    inst = _decode_all(program)[0]
+    assert (inst.rd, inst.rs, inst.rt) == (8, 9, 10)
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        # full-line comment
+        main: addu $t0, $t1, $t2   # trailing comment
+              nop ; alt comment
+        """
+    )
+    assert len(program.text) == 2
+
+
+def test_label_on_own_line():
+    program = assemble("main:\n  loop:\n  nop\n  b loop\n")
+    assert program.symbols["loop"] == program.symbols["main"]
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a: nop\na: nop\n")
+
+
+def test_branch_offset_computation():
+    program = assemble("main: nop\nloop: nop\n beq $0, $0, loop\n")
+    branch = _decode_all(program)[2]
+    # branch at index 2 (addr base+8), target base+4: offset in words
+    assert branch.imm == ((TEXT_BASE + 4) - (TEXT_BASE + 8 + 4)) >> 2
+
+
+def test_forward_branch_reference():
+    program = assemble("main: beq $0, $0, done\n nop\ndone: nop\n")
+    assert _decode_all(program)[0].imm == 1
+
+
+def test_branch_out_of_section_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("main: beq $0, $0, nowhere\n")
+
+
+def test_data_directives_layout():
+    program = assemble(
+        """
+        .data
+        bytes: .byte 1, 2, 3
+        words: .word 0x11223344, -1
+        half:  .half 0x5566
+        str:   .asciiz "hi"
+        blank: .space 5
+        .text
+        main: nop
+        """
+    )
+    symbols = program.symbols
+    assert symbols["bytes"] == DATA_BASE
+    assert symbols["words"] == DATA_BASE + 4  # aligned past 3 bytes
+    data = bytes(program.data)
+    assert data[0:3] == b"\x01\x02\x03"
+    assert data[4:8] == b"\x44\x33\x22\x11"  # little endian
+    assert data[8:12] == b"\xff\xff\xff\xff"
+    assert data[symbols["str"] - DATA_BASE :][:3] == b"hi\x00"
+
+
+def test_word_label_reference():
+    program = assemble(
+        """
+        .data
+        table: .word entry, entry+4
+        .text
+        entry: nop
+        main: nop
+        """
+    )
+    data = bytes(program.data)
+    entry = program.symbols["entry"]
+    assert int.from_bytes(data[0:4], "little") == entry
+    assert int.from_bytes(data[4:8], "little") == entry + 4
+
+
+def test_align_directive():
+    program = assemble(
+        """
+        .data
+        a: .byte 1
+        .align 3
+        b: .byte 2
+        .text
+        main: nop
+        """
+    )
+    assert program.symbols["b"] % 8 == 0
+
+
+def test_equ_constant():
+    program = assemble(
+        """
+        .equ SIZE, 64
+        main: addiu $t0, $0, SIZE
+        """
+    )
+    assert _decode_all(program)[0].imm == 64
+
+
+def test_char_literal():
+    program = assemble("main: addiu $t0, $0, 'a'\n")
+    assert _decode_all(program)[0].imm == 97
+
+
+def test_li_small_expands_to_one_instruction():
+    program = assemble("main: li $t0, 42\n")
+    assert len(program.text) == 1
+
+
+def test_li_negative_small():
+    program = assemble("main: li $t0, -3\n")
+    inst = _decode_all(program)[0]
+    assert inst.mnemonic == "addiu" and inst.imm == -3
+
+
+def test_li_large_expands_to_two():
+    program = assemble("main: li $t0, 0x12345678\n")
+    insts = _decode_all(program)
+    assert [i.mnemonic for i in insts] == ["lui", "ori"]
+    assert insts[0].imm == 0x1234 and insts[1].imm == 0x5678
+
+
+def test_la_hi_lo_reconstruct_address():
+    program = assemble(
+        """
+        .data
+        .space 40000
+        target: .word 1
+        .text
+        main: la $t0, target
+        """
+    )
+    lui, addiu = _decode_all(program)
+    assert lui.mnemonic == "lui" and addiu.mnemonic == "addiu"
+    lo = addiu.imm
+    reconstructed = ((lui.imm << 16) + lo) & 0xFFFFFFFF
+    assert reconstructed == program.symbols["target"]
+
+
+def test_load_from_label_expands():
+    program = assemble(
+        """
+        .data
+        v: .word 7
+        .text
+        main: lw $t0, v
+        """
+    )
+    insts = _decode_all(program)
+    assert [i.mnemonic for i in insts] == ["lui", "lw"]
+
+
+@pytest.mark.parametrize(
+    "pseudo,expansion",
+    [
+        ("move $t0, $t1", ["addu"]),
+        ("neg $t0, $t1", ["subu"]),
+        ("not $t0, $t1", ["nor"]),
+        ("b somewhere", ["beq"]),
+        ("beqz $t0, somewhere", ["beq"]),
+        ("bnez $t0, somewhere", ["bne"]),
+        ("blt $t0, $t1, somewhere", ["slt", "bne"]),
+        ("bge $t0, $t1, somewhere", ["slt", "beq"]),
+        ("bgt $t0, $t1, somewhere", ["slt", "bne"]),
+        ("ble $t0, $t1, somewhere", ["slt", "beq"]),
+        ("bltu $t0, $t1, somewhere", ["sltu", "bne"]),
+        ("mul $t0, $t1, $t2", ["mult", "mflo"]),
+        ("halt", ["addiu", "syscall"]),
+    ],
+)
+def test_pseudo_expansions(pseudo, expansion):
+    program = assemble(f"main: nop\nsomewhere: {pseudo}\n")
+    mnems = [i.mnemonic for i in _decode_all(program)[1:]]
+    assert mnems == expansion
+
+
+def test_negative_symbolic_offset():
+    program = assemble(
+        """
+        .equ N, 19
+        main: lbu $t0, -N($t1)
+        """
+    )
+    assert _decode_all(program)[0].imm == -19
+
+
+def test_memory_operand_without_offset():
+    program = assemble("main: lw $t0, ($t1)\n")
+    inst = _decode_all(program)[0]
+    assert inst.imm == 0 and inst.rs == 9
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "main: addu $t0, $t1",             # wrong arity
+        "main: frobnicate $t0",            # unknown mnemonic
+        "main: lw $t0, 99999($t1)",        # offset out of range
+        "main: addiu $t0, $0, 99999",      # immediate out of range
+        "main: sll $t0, $t1, 35",          # shift out of range
+        ".data\n .word undefined_symbol",  # unresolved fixup
+        ".data\n main: addu $t0, $t1, $t2",  # instruction in .data
+        ".bogus 12",                       # unknown directive
+    ],
+)
+def test_errors_reported(bad):
+    with pytest.raises(AssemblerError):
+        assemble(bad)
+
+
+def test_source_map_lines():
+    program = assemble("main: nop\n\n nop\n")
+    assert program.source_map[0] == 1
+    assert program.source_map[1] == 3
+
+
+def test_jump_encodes_absolute_word_target():
+    program = assemble("main: nop\ntgt: nop\n j tgt\n")
+    inst = _decode_all(program)[2]
+    assert inst.target << 2 == program.symbols["tgt"] & 0x0FFFFFFF

@@ -1,0 +1,117 @@
+"""Trace-driven characterization studies (Figures 2, 4, 6)."""
+
+from repro.characterization import characterize_branches, characterize_lsq, characterize_tags
+from repro.characterization.branch_char import average_detected_fraction
+from repro.characterization.tag_char import figure4_configs
+from repro.lsq.disambiguation import LSDCategory
+from repro.memsys.cache import CacheConfig
+from repro.memsys.partial_tag import PartialTagOutcome
+
+# ------------------------------------------------------------------ Figure 2
+
+
+def test_lsq_fractions_sum_to_one(small_traces):
+    result = characterize_lsq(small_traces["bzip"], benchmark="bzip", bits=(2, 9, 31))
+    for b in (2, 9, 31):
+        total = sum(result.fraction(b, c) for c in LSDCategory)
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_lsq_resolution_improves_with_bits(small_traces):
+    result = characterize_lsq(small_traces["bzip"], benchmark="bzip")
+    fractions = [result.resolved_fraction(b) for b in range(2, 32)]
+    for prev, cur in zip(fractions, fractions[1:]):
+        assert cur >= prev - 1e-9
+    # Paper: after ~9 bits, loads are essentially always disambiguated.
+    assert result.resolved_fraction(15) > 0.9
+
+
+def test_lsq_full_compare_is_decisive(small_traces):
+    result = characterize_lsq(small_traces["mcf"], benchmark="mcf", bits=(31,))
+    # At full width, nothing can remain ambiguous.
+    assert result.fraction(31, LSDCategory.MULTI_DIFF_ADDR) == 0.0
+    assert result.fraction(31, LSDCategory.SINGLE_NONMATCH) == 0.0
+
+
+def test_lsq_respects_queue_size(small_traces):
+    wide = characterize_lsq(small_traces["bzip"], lsq_size=32, bits=(2,))
+    narrow = characterize_lsq(small_traces["bzip"], lsq_size=1, bits=(2,))
+    # A tiny queue sees fewer stores: "no stores" becomes more common.
+    assert narrow.fraction(2, LSDCategory.NO_STORES) >= wide.fraction(2, LSDCategory.NO_STORES)
+
+
+# ------------------------------------------------------------------ Figure 4
+
+
+def test_tag_fractions_sum_to_one(small_traces):
+    cfg = CacheConfig(size=8 * 1024, assoc=4, line_size=32)
+    result = characterize_tags(small_traces["mcf"], cfg, bits=(1, 4, cfg.tag_bits))
+    for b in (1, 4, cfg.tag_bits):
+        total = sum(result.fraction(b, c) for c in PartialTagOutcome)
+        assert abs(total - 1.0) < 1e-9
+
+
+def test_tag_multi_shrinks_with_bits(small_traces):
+    cfg = CacheConfig(size=8 * 1024, assoc=8, line_size=32)
+    bits = tuple(range(1, 13))
+    result = characterize_tags(small_traces["vortex"], cfg, bits=bits)
+    multi = [result.fraction(b, PartialTagOutcome.MULTI) for b in bits]
+    for prev, cur in zip(multi, multi[1:]):
+        assert cur <= prev + 1e-9
+
+
+def test_tag_full_width_exact(small_traces):
+    cfg = CacheConfig(size=8 * 1024, assoc=2, line_size=32)
+    result = characterize_tags(small_traces["li"], cfg, bits=(cfg.tag_bits,))
+    full = cfg.tag_bits
+    assert result.fraction(full, PartialTagOutcome.MULTI) == 0.0
+    assert result.fraction(full, PartialTagOutcome.SINGLE_MISS) == 0.0
+    assert abs(result.hit_rate + result.fraction(full, PartialTagOutcome.ZERO) - 1.0) < 1e-9
+
+
+def test_figure4_configs_geometry():
+    configs = figure4_configs()
+    assert len(configs) == 6
+    assert {c.assoc for c in configs} == {2, 4, 8}
+    assert {c.size for c in configs} == {64 * 1024, 8 * 1024}
+
+
+def test_tag_warmup_reduces_cold_misses(small_traces):
+    cfg = CacheConfig(size=8 * 1024, assoc=4, line_size=32)
+    cold = characterize_tags(small_traces["vortex"], cfg, bits=(cfg.tag_bits,))
+    warm = characterize_tags(small_traces["vortex"], cfg, bits=(cfg.tag_bits,), warmup=2000)
+    assert warm.accesses < cold.accesses
+    assert warm.hit_rate >= cold.hit_rate - 0.05
+
+
+# ------------------------------------------------------------------ Figure 6
+
+
+def test_branch_curve_monotone(small_traces):
+    result = characterize_branches(small_traces["li"], benchmark="li")
+    fractions = [result.detected_fraction(b) for b in range(1, 33)]
+    for prev, cur in zip(fractions, fractions[1:]):
+        assert cur >= prev - 1e-9
+    assert fractions[-1] == 1.0  # all mispredictions detectable with 32 bits
+
+
+def test_branch_needed_bits_in_range(small_traces):
+    result = characterize_branches(small_traces["mcf"], benchmark="mcf")
+    assert all(1 <= b <= 32 for b in result.needed_bits)
+    assert sum(result.needed_bits.values()) == result.mispredictions
+
+
+def test_branch_eq_type_fractions(small_traces):
+    result = characterize_branches(small_traces["li"], benchmark="li")
+    assert 0 <= result.eq_type_branch_fraction <= 1
+    assert result.eq_type_branches <= result.branches
+
+
+def test_branch_warmup_shrinks_counts(small_traces):
+    full = characterize_branches(small_traces["li"])
+    warm = characterize_branches(small_traces["li"], warmup=2000)
+    assert warm.branches < full.branches
+
+
+def test_average_detected_fraction_empty():
+    assert average_detected_fraction([], 8) == 0.0

@@ -1,0 +1,25 @@
+"""Console entry point."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_table1_via_cli(capsys):
+    assert main(["table1", "-n", "2000", "-b", "go"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "go" in out
+
+
+def test_fig6_via_cli(capsys):
+    assert main(["fig6", "-n", "2000", "-b", "li"]) == 0
+    assert "Figure 6" in capsys.readouterr().out
+
+
+def test_unknown_benchmark_rejected(capsys):
+    assert main(["table1", "-b", "crafty"]) == 2
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure99"])

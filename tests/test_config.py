@@ -1,0 +1,104 @@
+"""Machine configurations and the Figure 11/12 ladder."""
+
+import pytest
+
+from repro.core.config import (
+    CUMULATIVE_TECHNIQUES,
+    TABLE2,
+    Features,
+    MachineConfig,
+    baseline_config,
+    bitslice_config,
+    cumulative_configs,
+    describe,
+    simple_pipeline_config,
+    with_name,
+)
+
+
+def test_baseline_shape():
+    cfg = baseline_config()
+    assert cfg.ex_stages == 1 and cfg.num_slices == 1
+    assert not cfg.is_sliced
+
+
+def test_simple_pipeline_shapes():
+    assert simple_pipeline_config(2).ex_stages == 2
+    assert simple_pipeline_config(4).ex_stages == 4
+    assert simple_pipeline_config(4).l1_latency == 2  # paper §7.1
+    with pytest.raises(ValueError):
+        simple_pipeline_config(3)
+
+
+def test_bitslice_shapes():
+    cfg = bitslice_config(2)
+    assert cfg.num_slices == 2 and cfg.ex_stages == 2
+    assert cfg.is_sliced
+    assert cfg.slice_bits == 16
+    assert bitslice_config(4).slice_bits == 8
+    assert bitslice_config(4).l1_latency == 2
+    with pytest.raises(ValueError):
+        bitslice_config(8)
+
+
+def test_sliced_requires_matching_ex_stages():
+    with pytest.raises(ValueError):
+        MachineConfig(num_slices=2, ex_stages=3)
+
+
+def test_features_all_none():
+    assert not any(vars(Features.none()).values())
+    # all() enables the paper's five evaluated techniques; the
+    # discussed-but-unevaluated extensions stay off.
+    full = Features.all()
+    assert full.partial_operand_bypassing and full.partial_tag_matching
+    assert full.out_of_order_slices and full.early_branch_resolution
+    assert full.early_lsq_disambiguation
+    assert not full.narrow_width_relaxation
+    assert not full.speculative_forwarding
+    assert all(vars(Features.extended()).values())
+
+
+def test_cumulative_ladder_order():
+    ladder = cumulative_configs(2)
+    labels = [label for label, _ in ladder]
+    assert labels == list(CUMULATIVE_TECHNIQUES)
+    # First rung: simple pipelining, atomic operands.
+    assert ladder[0][1].num_slices == 1
+    # Later rungs enable features cumulatively.
+    pob = ladder[1][1].features
+    assert pob.partial_operand_bypassing and not pob.out_of_order_slices
+    full = ladder[-1][1].features
+    assert full == Features.all()
+
+
+def test_ladder_monotone_features():
+    previous = 0
+    for _, cfg in cumulative_configs(4)[1:]:
+        enabled = sum(vars(cfg.features).values())
+        assert enabled == previous + 1 or previous == 0 and enabled == 1
+        previous = enabled
+
+
+def test_table2_mentions_key_parameters():
+    text = " ".join(TABLE2.values())
+    for token in ("64-entry RUU", "32-entry LSQ", "64K-entry gshare", "1MB", "100-cycle"):
+        assert token in text
+
+
+def test_describe_and_rename():
+    cfg = with_name(bitslice_config(2), "custom")
+    assert cfg.name == "custom"
+    text = describe(cfg)
+    assert "bit-sliced x2" in text and "16-bit" in text
+    assert "ideal" in describe(baseline_config())
+
+
+def test_table2_defaults_on_config():
+    cfg = MachineConfig()
+    assert cfg.fetch_width == cfg.issue_width == cfg.commit_width == 4
+    assert cfg.ruu_size == 64 and cfg.lsq_size == 32
+    assert cfg.gshare_entries == 64 * 1024
+    assert cfg.btb_entries == 512 and cfg.btb_assoc == 4 and cfg.ras_depth == 8
+    assert cfg.l2_latency == 6 and cfg.memory_latency == 100
+    assert cfg.int_mult_lat == 3 and cfg.int_div_lat == 20

@@ -1,0 +1,66 @@
+"""Inter-slice dependence rules (paper Figure 8)."""
+
+import pytest
+
+from repro.core.dependences import input_slices_needed, intra_slice_dependency, slice_issue_order
+from repro.isa.opclass import OpClass
+
+
+def test_logic_needs_own_slice_only():
+    for k in range(4):
+        assert input_slices_needed(OpClass.LOGIC, k, 4) == (k,)
+        assert intra_slice_dependency(OpClass.LOGIC, k, 4) is None
+
+
+def test_zero_test_like_logic():
+    for k in range(4):
+        assert input_slices_needed(OpClass.ZERO_TEST, k, 4) == (k,)
+        assert intra_slice_dependency(OpClass.ZERO_TEST, k, 4) is None
+
+
+def test_arith_carry_chain():
+    assert intra_slice_dependency(OpClass.ARITH, 0, 4) is None
+    for k in range(1, 4):
+        assert intra_slice_dependency(OpClass.ARITH, k, 4) == k - 1
+        assert input_slices_needed(OpClass.ARITH, k, 4) == (k,)
+
+
+def test_shift_left_pulls_lower_slices():
+    assert input_slices_needed(OpClass.SHIFT_LEFT, 2, 4) == (0, 1, 2)
+    assert intra_slice_dependency(OpClass.SHIFT_LEFT, 2, 4) == 1
+
+
+def test_shift_right_pulls_higher_slices():
+    assert input_slices_needed(OpClass.SHIFT_RIGHT, 1, 4) == (1, 2, 3)
+    assert intra_slice_dependency(OpClass.SHIFT_RIGHT, 1, 4) == 2
+    assert intra_slice_dependency(OpClass.SHIFT_RIGHT, 3, 4) is None
+
+
+def test_compare_and_full_need_everything():
+    for klass in (OpClass.COMPARE, OpClass.FULL):
+        assert input_slices_needed(klass, 0, 4) == (0, 1, 2, 3)
+        assert intra_slice_dependency(klass, 0, 4) is None
+
+
+def test_issue_order():
+    assert slice_issue_order(OpClass.ARITH, 4) == (0, 1, 2, 3)
+    assert slice_issue_order(OpClass.SHIFT_RIGHT, 4) == (3, 2, 1, 0)
+
+
+def test_bounds_checked():
+    with pytest.raises(ValueError):
+        input_slices_needed(OpClass.LOGIC, 4, 4)
+    with pytest.raises(ValueError):
+        intra_slice_dependency(OpClass.ARITH, -1, 4)
+
+
+def test_chains_are_acyclic():
+    """Following intra-slice dependencies always terminates."""
+    for klass in OpClass:
+        for start in range(4):
+            seen = set()
+            k = start
+            while k is not None:
+                assert k not in seen
+                seen.add(k)
+                k = intra_slice_dependency(klass, k, 4)

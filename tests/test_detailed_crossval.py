@@ -1,0 +1,163 @@
+"""Cross-validation: timestamp model vs. the cycle-by-cycle reference.
+
+Two independently written simulators of the same machine.  They agree
+exactly on serial dependence chains (where scheduling freedom is nil)
+and within a bounded tolerance elsewhere (the models idealize select
+order differently); their front ends must agree exactly on prediction
+outcomes, and both must preserve the paper's config ordering.
+"""
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config, simple_pipeline_config
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.timing.detailed import DetailedSimulator, simulate_detailed
+from repro.timing.simulator import simulate
+
+
+def trace_of(src: str, n: int = 20_000):
+    return tuple(Machine(assemble(src)).trace(n))
+
+
+SERIAL_CHAIN = (
+    "main: li $t0, 0\n"
+    + " addiu $t0, $t0, 1\n" * 60
+    + " li $s0, 25\n"
+    + "loop:\n"
+    + " addiu $t0, $t0, 1\n" * 40
+    + " addiu $s0, $s0, -1\n bgtz $s0, loop\n halt\n"
+)
+
+
+@pytest.mark.parametrize("config_fn", [baseline_config, lambda: simple_pipeline_config(2)])
+def test_exact_agreement_on_serial_chains(config_fn):
+    """With no scheduling freedom, the models must agree to ~1 cycle."""
+    trace = trace_of(SERIAL_CHAIN)
+    cfg = config_fn()
+    a = simulate(cfg, trace)
+    b = simulate_detailed(cfg, trace)
+    assert a.instructions == b.instructions
+    assert abs(a.cycles - b.cycles) <= 2
+
+
+@pytest.mark.parametrize("name", ["bzip", "li", "mcf"])
+def test_bounded_divergence_on_workloads(small_traces, name):
+    trace = small_traces[name]
+    for cfg in (baseline_config(), simple_pipeline_config(2)):
+        a = simulate(cfg, trace)
+        b = simulate_detailed(cfg, trace)
+        assert a.instructions == b.instructions
+        # Front ends are identical implementations driven in the same
+        # order: prediction outcomes must match exactly.
+        assert a.branch_mispredicts == b.branch_mispredicts, cfg.name
+        # Timing models idealize differently; divergence stays bounded.
+        ratio = b.cycles / a.cycles
+        assert 0.6 < ratio < 1.5, (name, cfg.name, ratio)
+
+
+@pytest.mark.parametrize("name", ["bzip", "li"])
+def test_both_models_agree_pipelining_costs(small_traces, name):
+    """The paper's first-order claim holds in both models."""
+    trace = small_traces[name]
+    for sim in (simulate, simulate_detailed):
+        ideal = sim(baseline_config(), trace)
+        simple = sim(simple_pipeline_config(2), trace)
+        assert simple.ipc < ideal.ipc, sim.__name__
+
+
+def test_detailed_accepts_basic_sliced_configs():
+    from repro.core.config import Features
+
+    DetailedSimulator(bitslice_config(2, Features(partial_operand_bypassing=True)))
+
+
+def test_detailed_empty_trace():
+    stats = simulate_detailed(baseline_config(), [])
+    assert stats.instructions == 0 and stats.cycles == 0
+
+
+def test_detailed_truncation():
+    trace = trace_of(SERIAL_CHAIN)
+    stats = simulate_detailed(baseline_config(), trace, max_instructions=500)
+    assert stats.instructions == 500
+
+
+def test_detailed_store_forwarding():
+    src = """
+    main: li $s0, 1000
+          la $s1, buf
+    loop: sw $s0, 0($s1)
+          lw $t0, 0($s1)
+          addu $s2, $s2, $t0
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    buf: .word 0
+    .text
+    """
+    stats = simulate_detailed(baseline_config(), trace_of(src))
+    assert stats.store_forwards > 500
+
+
+def test_detailed_window_limits_respected():
+    """A tiny ROB must slow the detailed model down too."""
+    import dataclasses
+
+    trace = trace_of(SERIAL_CHAIN)
+    big = simulate_detailed(baseline_config(), trace)
+    small_cfg = dataclasses.replace(baseline_config(), ruu_size=4)
+    small = simulate_detailed(small_cfg, trace)
+    assert small.cycles >= big.cycles
+
+
+# ----------------------------------------------------------- sliced mode
+
+
+def _pob(slices: int):
+    from repro.core.config import Features
+
+    return bitslice_config(slices, Features(partial_operand_bypassing=True))
+
+
+@pytest.mark.parametrize("slices", [2, 4])
+def test_sliced_exact_agreement_on_serial_chains(slices):
+    """In-order sliced execution of a pure ARITH chain has no freedom:
+    the models must agree to a few cycles."""
+    trace = trace_of("main: li $t0, 0\n" + " addiu $t0, $t0, 1\n" * 80 + " halt\n")
+    a = simulate(_pob(slices), trace)
+    b = simulate_detailed(_pob(slices), trace)
+    assert abs(a.cycles - b.cycles) <= 6
+
+
+@pytest.mark.parametrize("name", ["bzip", "li", "mcf"])
+@pytest.mark.parametrize("slices", [2, 4])
+def test_sliced_bounded_divergence(small_traces, name, slices):
+    trace = small_traces[name]
+    a = simulate(_pob(slices), trace)
+    b = simulate_detailed(_pob(slices), trace)
+    assert a.branch_mispredicts == b.branch_mispredicts
+    ratio = b.cycles / a.cycles
+    # The detailed model idealizes per-slice structural contention, so
+    # it can run meaningfully faster; divergence must stay bounded.
+    assert 0.5 < ratio < 1.5, (name, slices, ratio)
+
+
+@pytest.mark.parametrize("name", ["bzip", "li"])
+def test_both_models_agree_slicing_recovers(small_traces, name):
+    """Both models reproduce the paper's ordering:
+    simple pipelining <= bypassing-sliced <= ideal."""
+    trace = small_traces[name]
+    for sim in (simulate, simulate_detailed):
+        ideal = sim(baseline_config(), trace)
+        simple = sim(simple_pipeline_config(2), trace)
+        sliced = sim(_pob(2), trace)
+        assert simple.ipc < ideal.ipc, sim.__name__
+        assert sliced.ipc >= simple.ipc * 0.98, sim.__name__
+        assert sliced.ipc <= ideal.ipc * 1.02, sim.__name__
+
+
+def test_detailed_rejects_advanced_sliced_features():
+    with pytest.raises(ValueError):
+        DetailedSimulator(bitslice_config(2))  # Features.all() includes PTM etc.

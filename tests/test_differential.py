@@ -1,0 +1,163 @@
+"""Differential testing: random programs vs. an independent oracle.
+
+Hypothesis generates random straight-line ALU programs; an
+intentionally separate, dictionary-based Python interpreter (the
+oracle) computes the expected final register state, and the emulator
+must match exactly.  A second property drives the timing simulator over
+the same random programs and checks its global invariants.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.timing.simulator import simulate
+
+_M = 0xFFFFFFFF
+
+#: Registers the generated programs use ($t0..$t7).
+REGS = [f"$t{i}" for i in range(8)]
+REG_NUMS = {f"$t{i}": 8 + i for i in range(8)}
+
+_R_OPS = ("addu", "subu", "and", "or", "xor", "nor", "slt", "sltu")
+_I_OPS = ("addiu", "andi", "ori", "xori", "slti", "sltiu")
+_SHIFTS = ("sll", "srl", "sra")
+
+
+@st.composite
+def straight_line_program(draw):
+    """(source_text, op_list) for a random ALU program."""
+    ops: list[tuple] = []
+    lines = ["main:"]
+    # Seed registers with random 32-bit values.
+    for reg in REGS:
+        value = draw(st.integers(0, _M))
+        lines.append(f" li {reg}, {value}")
+        ops.append(("li", reg, value))
+    for _ in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(["r", "i", "shift"]))
+        rd = draw(st.sampled_from(REGS))
+        rs = draw(st.sampled_from(REGS))
+        if kind == "r":
+            op = draw(st.sampled_from(_R_OPS))
+            rt = draw(st.sampled_from(REGS))
+            lines.append(f" {op} {rd}, {rs}, {rt}")
+            ops.append((op, rd, rs, rt))
+        elif kind == "i":
+            op = draw(st.sampled_from(_I_OPS))
+            imm = draw(st.integers(0, 0xFFFF)) if op in ("andi", "ori", "xori") else draw(
+                st.integers(-0x8000, 0x7FFF)
+            )
+            lines.append(f" {op} {rd}, {rs}, {imm}")
+            ops.append((op, rd, rs, imm))
+        else:
+            op = draw(st.sampled_from(_SHIFTS))
+            sh = draw(st.integers(0, 31))
+            lines.append(f" {op} {rd}, {rs}, {sh}")
+            ops.append((op, rd, rs, sh))
+    lines.append(" halt")
+    return "\n".join(lines), ops
+
+
+def _signed(x: int) -> int:
+    return x - 0x1_0000_0000 if x & 0x8000_0000 else x
+
+
+def oracle(ops) -> dict[str, int]:
+    """Deliberately independent interpreter over the op list."""
+    regs = {r: 0 for r in REGS}
+    for op, *rest in ops:
+        if op == "li":
+            rd, value = rest
+            regs[rd] = value & _M
+            continue
+        rd, rs, third = rest
+        a = regs[rs]
+        if op in ("sll", "srl", "sra"):
+            sh = third
+            if op == "sll":
+                regs[rd] = (a << sh) & _M
+            elif op == "srl":
+                regs[rd] = a >> sh
+            else:
+                regs[rd] = (_signed(a) >> sh) & _M
+            continue
+        b = regs[third] if isinstance(third, str) else None
+        imm = third if not isinstance(third, str) else None
+        if op == "addu":
+            regs[rd] = (a + b) & _M
+        elif op == "subu":
+            regs[rd] = (a - b) & _M
+        elif op == "and":
+            regs[rd] = a & b
+        elif op == "or":
+            regs[rd] = a | b
+        elif op == "xor":
+            regs[rd] = a ^ b
+        elif op == "nor":
+            regs[rd] = ~(a | b) & _M
+        elif op == "slt":
+            regs[rd] = int(_signed(a) < _signed(b))
+        elif op == "sltu":
+            regs[rd] = int(a < b)
+        elif op == "addiu":
+            regs[rd] = (a + imm) & _M
+        elif op == "andi":
+            regs[rd] = a & (imm & 0xFFFF)
+        elif op == "ori":
+            regs[rd] = a | (imm & 0xFFFF)
+        elif op == "xori":
+            regs[rd] = a ^ (imm & 0xFFFF)
+        elif op == "slti":
+            regs[rd] = int(_signed(a) < imm)
+        elif op == "sltiu":
+            regs[rd] = int(a < (imm & _M))
+        else:  # pragma: no cover
+            raise AssertionError(op)
+    return regs
+
+
+@given(straight_line_program())
+@settings(max_examples=120, deadline=None)
+def test_emulator_matches_oracle(program):
+    source, ops = program
+    machine = Machine(assemble(source))
+    machine.run(10_000)
+    assert machine.halted
+    expected = oracle(ops)
+    for reg, value in expected.items():
+        assert machine.regs[REG_NUMS[reg]] == value, reg
+
+
+@given(straight_line_program())
+@settings(max_examples=30, deadline=None)
+def test_timing_invariants_on_random_programs(program):
+    source, _ = program
+    trace = tuple(Machine(assemble(source)).trace(10_000))
+    ideal = simulate(baseline_config(), trace)
+    sliced = simulate(bitslice_config(2), trace)
+    # Global invariants, independent of the program:
+    assert ideal.instructions == sliced.instructions == len(trace)
+    assert 0 < ideal.ipc <= 4.0
+    assert sliced.cycles >= ideal.cycles  # slicing never wins outright
+    assert sliced.cycles <= ideal.cycles * 3 + 50  # and never explodes
+
+
+@given(straight_line_program())
+@settings(max_examples=20, deadline=None)
+def test_timeline_consistency_on_random_programs(program):
+    from repro.timing.simulator import TimingSimulator
+
+    source, _ = program
+    trace = tuple(Machine(assemble(source)).trace(10_000))
+    sim = TimingSimulator(bitslice_config(4), record_timeline=True)
+    stats = sim.run(iter(trace))
+    assert len(sim.timeline) == stats.instructions
+    commits = [e.commit for e in sim.timeline]
+    assert commits == sorted(commits)
+    for e in sim.timeline:
+        assert e.fetch <= e.dispatch <= e.complete <= e.commit

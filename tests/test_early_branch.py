@@ -1,0 +1,101 @@
+"""Early branch misprediction detection logic (paper §5.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.early import (
+    ALL_BITS,
+    bits_to_detect_mispredict,
+    can_resolve_early,
+    detectable_with_bits,
+)
+
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+def test_direction_matrix():
+    """Only the prove-inequality direction of beq/bne resolves early."""
+    assert can_resolve_early("beq", predicted_taken=True)
+    assert not can_resolve_early("beq", predicted_taken=False)
+    assert not can_resolve_early("bne", predicted_taken=True)
+    assert can_resolve_early("bne", predicted_taken=False)
+    for m in ("blez", "bgtz", "bltz", "bgez"):
+        assert not can_resolve_early(m, True)
+        assert not can_resolve_early(m, False)
+
+
+def test_correct_prediction_needs_nothing():
+    assert bits_to_detect_mispredict("beq", 1, 1, True, True) is None
+    assert bits_to_detect_mispredict("bne", 1, 2, True, True) is None
+
+
+def test_figure5_example():
+    """The li example: andi leaves only bit 0; bne predicted not-taken
+    mispredicts when the register is nonzero — detected at bit 0."""
+    assert bits_to_detect_mispredict("bne", 0x1, 0x0, False, True) == 1
+
+
+def test_first_differing_bit_position():
+    # operands differ first at bit 8
+    assert bits_to_detect_mispredict("beq", 0x100, 0x000, True, False) == 9
+
+
+def test_equality_needs_all_bits():
+    # beq predicted not-taken, actually taken: must prove full equality.
+    assert bits_to_detect_mispredict("beq", 5, 5, False, True) == ALL_BITS
+    # bne predicted taken, actually not-taken: same.
+    assert bits_to_detect_mispredict("bne", 5, 5, True, False) == ALL_BITS
+
+
+def test_sign_branches_need_all_bits():
+    for m in ("blez", "bgtz", "bltz", "bgez"):
+        assert bits_to_detect_mispredict(m, 0x1, 0, True, False) == ALL_BITS
+
+
+def test_non_branch_rejected():
+    with pytest.raises(ValueError):
+        bits_to_detect_mispredict("addu", 0, 0, True, False)
+
+
+def test_detectable_with_bits_cumulative():
+    assert detectable_with_bits("beq", 0x100, 0, True, False, 9)
+    assert not detectable_with_bits("beq", 0x100, 0, True, False, 8)
+    assert not detectable_with_bits("beq", 5, 5, False, True, 31)
+    assert detectable_with_bits("beq", 5, 5, False, True, 32)
+
+
+@given(U32, U32)
+def test_beq_mispredict_taken_detects_at_first_diff(a, b):
+    """Property: for the early-resolvable direction, the reported bit
+    count is exactly 1 + index of the lowest differing bit."""
+    if a == b:
+        return
+    needed = bits_to_detect_mispredict("beq", a, b, True, False)
+    diff = a ^ b
+    low = (diff & -diff).bit_length()
+    assert needed == low
+
+
+@given(U32, U32, st.booleans())
+def test_needed_bits_always_in_range(a, b, predicted):
+    actual = a != b  # bne outcome
+    if predicted == actual:
+        assert bits_to_detect_mispredict("bne", a, b, predicted, actual) is None
+    else:
+        needed = bits_to_detect_mispredict("bne", a, b, predicted, actual)
+        assert 1 <= needed <= ALL_BITS
+
+
+@given(U32, U32)
+def test_detection_soundness(a, b):
+    """If detection is claimed with k bits, the low k bits really do
+    differ (a misprediction proof must be evidence-based)."""
+    if a == b:
+        return
+    needed = bits_to_detect_mispredict("bne", a, b, False, True)
+    mask = (1 << needed) - 1
+    assert (a & mask) != (b & mask)
+    if needed > 1:
+        narrower = (1 << (needed - 1)) - 1
+        assert (a & narrower) == (b & narrower)

@@ -1,0 +1,104 @@
+"""Instruction encode/decode, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    ALL_MNEMONICS,
+    FUNCTS,
+    OPCODES,
+    REGIMM,
+    EncodingError,
+    decode,
+    encode,
+)
+from repro.isa.instructions import Instruction
+
+
+def test_mnemonic_tables_disjoint():
+    assert not set(OPCODES) & set(FUNCTS)
+    assert not set(OPCODES) & set(REGIMM)
+
+
+def test_encode_r_type_fields():
+    word = encode(Instruction("addu", rs=1, rt=2, rd=3))
+    assert word >> 26 == 0
+    assert (word >> 21) & 0x1F == 1
+    assert (word >> 16) & 0x1F == 2
+    assert (word >> 11) & 0x1F == 3
+    assert word & 0x3F == FUNCTS["addu"]
+
+
+def test_decode_sign_extends_branch_offsets():
+    inst = decode(encode(Instruction("beq", rs=1, rt=2, imm=-5)))
+    assert inst.imm == -5
+
+
+def test_decode_zero_extends_logical_imm():
+    inst = decode(encode(Instruction("ori", rs=1, rt=2, imm=0xFFFF)))
+    assert inst.imm == 0xFFFF
+
+
+def test_jump_target_26_bits():
+    inst = decode(encode(Instruction("j", target=0x3FFFFFF)))
+    assert inst.target == 0x3FFFFFF
+    with pytest.raises(EncodingError):
+        encode(Instruction("j", target=1 << 26))
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction("frobnicate"))
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0xFC00_0000)  # opcode 63
+
+
+def test_unknown_funct_rejected():
+    with pytest.raises(EncodingError):
+        decode(0x0000_003F)  # funct 63
+
+
+def test_immediate_range_check():
+    with pytest.raises(EncodingError):
+        encode(Instruction("addiu", rs=0, rt=1, imm=0x12345))
+
+
+_regs = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw):
+    m = draw(st.sampled_from(sorted(ALL_MNEMONICS)))
+    if m in FUNCTS:
+        return Instruction(
+            m, rs=draw(_regs), rt=draw(_regs), rd=draw(_regs), shamt=draw(st.integers(0, 31))
+        )
+    if m in REGIMM:
+        return Instruction(m, rs=draw(_regs), imm=draw(st.integers(-0x8000, 0x7FFF)))
+    if m in ("j", "jal"):
+        return Instruction(m, target=draw(st.integers(0, (1 << 26) - 1)))
+    if m in ("andi", "ori", "xori", "lui"):
+        imm = draw(st.integers(0, 0xFFFF))
+    else:
+        imm = draw(st.integers(-0x8000, 0x7FFF))
+    return Instruction(m, rs=draw(_regs), rt=draw(_regs), imm=imm)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(inst):
+    word = encode(inst)
+    assert 0 <= word < (1 << 32)
+    again = decode(word)
+    assert encode(again) == word
+    assert again.mnemonic == inst.mnemonic
+
+
+@given(instructions())
+def test_roundtrip_preserves_dataflow(inst):
+    again = decode(encode(inst))
+    assert again.src_regs() == inst.src_regs()
+    assert again.dst_regs() == inst.dst_regs()

@@ -1,0 +1,77 @@
+"""Every example script must run (bit-rot guard).
+
+Each example is executed in a subprocess; where a script accepts
+arguments, small ones keep the suite fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3, "the deliverable requires at least three examples"
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Table 2" in out
+    assert "IPC" in out
+    assert "bit-sliced" in out
+
+
+def test_pipeline_viewer():
+    out = run_example("pipeline_viewer.py")
+    assert "Legend" in out
+    assert "ideal" in out and "bitslice-2" in out
+    assert "F" in out and "C" in out
+
+
+def test_run_table1():
+    out = run_example("run_table1.py", "-n", "3000", "go")
+    assert "Table 1" in out and "go" in out
+
+
+def test_sweep_slicing():
+    out = run_example("sweep_slicing.py", "go", "-n", "3000", "--slices", "2")
+    assert "Figure 11" in out and "Figure 12" in out
+
+
+def test_custom_workload():
+    out = run_example("custom_workload.py")
+    assert "histogram:" in out
+    assert "IPC" in out
+
+
+def test_workload_profiles():
+    out = run_example("workload_profiles.py", "go", "vpr")
+    assert "go" in out and "vpr" in out and "wset" in out
+
+
+@pytest.mark.parametrize("name", ["li_early_branches.py", "vortex_partial_tags.py"])
+def test_domain_examples(name):
+    out = run_example(name)
+    assert "IPC" in out
+
+
+def test_kernel_gallery():
+    out = run_example("kernel_gallery.py")
+    assert "FAIL" not in out
+    assert out.count("OK") >= 5

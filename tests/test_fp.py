@@ -1,0 +1,296 @@
+"""Floating-point subsystem: COP1 semantics, dataflow, timing."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.emulator.machine import Machine, bits_from_f32, f32_from_bits
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instruction
+from repro.isa.registers import FCC, FP_BASE, fp_reg_name, fp_reg_num
+from repro.timing.simulator import simulate
+
+
+def run_fp(body: str) -> Machine:
+    machine = Machine(assemble(f"main:\n{body}\nhalt\n"))
+    machine.run(100_000)
+    assert machine.halted
+    return machine
+
+
+def fval(machine: Machine, f: int) -> float:
+    return f32_from_bits(machine.regs[FP_BASE + f])
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def test_bit_float_roundtrip():
+    for v in (0.0, 1.0, -2.5, 2.0**20, float("inf")):
+        assert f32_from_bits(bits_from_f32(v)) == v
+
+
+def test_bits_from_overflow_rounds_to_inf():
+    assert f32_from_bits(bits_from_f32(1e200)) == math.inf
+    assert f32_from_bits(bits_from_f32(-1e200)) == -math.inf
+
+
+def test_fp_register_names():
+    assert fp_reg_num("$f0") == 0 and fp_reg_num("f31") == 31
+    assert fp_reg_name(5) == "$f5"
+    with pytest.raises(ValueError):
+        fp_reg_num("$f32")
+    with pytest.raises(ValueError):
+        fp_reg_num("$t0")
+
+
+# ---------------------------------------------------------------- encoding
+
+
+@pytest.mark.parametrize(
+    "inst",
+    [
+        Instruction("add.s", rt=2, rd=1, shamt=0),
+        Instruction("div.s", rt=7, rd=6, shamt=5),
+        Instruction("sqrt.s", rd=3, shamt=4),
+        Instruction("cvt.s.w", rd=1, shamt=2),
+        Instruction("cvt.w.s", rd=1, shamt=2),
+        Instruction("c.lt.s", rd=1, rt=2),
+        Instruction("mfc1", rt=8, rd=4),
+        Instruction("mtc1", rt=8, rd=4),
+        Instruction("bc1t", imm=-3),
+        Instruction("bc1f", imm=5),
+        Instruction("lwc1", rt=2, rs=8, imm=16),
+        Instruction("swc1", rt=2, rs=8, imm=-4),
+    ],
+)
+def test_fp_encode_decode_roundtrip(inst):
+    word = encode(inst)
+    again = decode(word)
+    assert again.mnemonic == inst.mnemonic
+    assert encode(again) == word
+
+
+# ---------------------------------------------------------------- dataflow
+
+
+def test_fp3_dataflow():
+    inst = Instruction("add.s", rt=2, rd=1, shamt=0)  # f0 = f1 + f2
+    assert set(inst.src_regs()) == {FP_BASE + 1, FP_BASE + 2}
+    assert inst.dst_regs() == (FP_BASE + 0,)
+
+
+def test_fp_compare_writes_fcc():
+    inst = Instruction("c.lt.s", rd=1, rt=2)
+    assert inst.dst_regs() == (FCC,)
+    branch = Instruction("bc1t", imm=1)
+    assert branch.src_regs() == (FCC,)
+    assert branch.is_branch
+
+
+def test_fp_memory_dataflow():
+    load = Instruction("lwc1", rt=4, rs=9, imm=0)
+    assert load.src_regs() == (9,)
+    assert load.dst_regs() == (FP_BASE + 4,)
+    assert load.is_load
+    store = Instruction("swc1", rt=4, rs=9, imm=0)
+    assert set(store.src_regs()) == {9, FP_BASE + 4}
+    assert store.is_store
+
+
+def test_move_dataflow():
+    assert Instruction("mtc1", rt=8, rd=3).dst_regs() == (FP_BASE + 3,)
+    assert Instruction("mfc1", rt=8, rd=3).src_regs() == (FP_BASE + 3,)
+    assert Instruction("mfc1", rt=8, rd=3).dst_regs() == (8,)
+
+
+# --------------------------------------------------------------- semantics
+
+
+def test_fp_arithmetic():
+    m = run_fp(
+        """
+        li.s $f1, 3.5
+        li.s $f2, 1.25
+        add.s $f3, $f1, $f2
+        sub.s $f4, $f1, $f2
+        mul.s $f5, $f1, $f2
+        div.s $f6, $f1, $f2
+        """
+    )
+    assert fval(m, 3) == 4.75
+    assert fval(m, 4) == 2.25
+    assert fval(m, 5) == 4.375
+    assert fval(m, 6) == pytest.approx(2.8, rel=1e-6)
+
+
+def test_fp_div_by_zero_ieee():
+    m = run_fp("li.s $f1, 1.0\n li.s $f2, 0.0\n div.s $f3, $f1, $f2")
+    assert fval(m, 3) == math.inf
+    m = run_fp("li.s $f1, -1.0\n li.s $f2, 0.0\n div.s $f3, $f1, $f2")
+    assert fval(m, 3) == -math.inf
+    m = run_fp("li.s $f1, 0.0\n li.s $f2, 0.0\n div.s $f3, $f1, $f2")
+    assert math.isnan(fval(m, 3))
+
+
+def test_fp_unary_ops():
+    m = run_fp(
+        """
+        li.s $f1, -2.0
+        abs.s $f2, $f1
+        neg.s $f3, $f2
+        mov.s $f4, $f1
+        li.s $f5, 9.0
+        sqrt.s $f6, $f5
+        """
+    )
+    assert fval(m, 2) == 2.0
+    assert fval(m, 3) == -2.0
+    assert fval(m, 4) == -2.0
+    assert fval(m, 6) == 3.0
+
+
+def test_sqrt_negative_is_nan():
+    m = run_fp("li.s $f1, -4.0\n sqrt.s $f2, $f1")
+    assert math.isnan(fval(m, 2))
+
+
+def test_conversions():
+    m = run_fp(
+        """
+        li $t0, -7
+        mtc1 $t0, $f1
+        cvt.s.w $f2, $f1
+        li.s $f3, 3.9
+        cvt.w.s $f4, $f3
+        mfc1 $t1, $f4
+        """
+    )
+    assert fval(m, 2) == -7.0
+    assert m.regs[9] == 3  # truncation toward zero
+
+
+def test_cvt_w_s_clamps():
+    m = run_fp("li.s $f1, 1e20\n cvt.w.s $f2, $f1\n mfc1 $t0, $f2")
+    assert m.regs[8] == 0x7FFFFFFF
+
+
+@pytest.mark.parametrize(
+    "cmp_op,a,b,expected",
+    [
+        ("c.eq.s", 1.0, 1.0, 1), ("c.eq.s", 1.0, 2.0, 0),
+        ("c.lt.s", 1.0, 2.0, 1), ("c.lt.s", 2.0, 1.0, 0),
+        ("c.le.s", 2.0, 2.0, 1), ("c.le.s", 3.0, 2.0, 0),
+    ],
+)
+def test_fp_compares(cmp_op, a, b, expected):
+    m = run_fp(f"li.s $f1, {a}\n li.s $f2, {b}\n {cmp_op} $f1, $f2")
+    assert m.regs[FCC] == expected
+
+
+def test_fp_branches():
+    m = run_fp(
+        """
+        li.s $f1, 1.0
+        li.s $f2, 2.0
+        c.lt.s $f1, $f2
+        li $t0, 0
+        bc1t yes
+        b done
+        yes: li $t0, 1
+        done:
+        c.eq.s $f1, $f2
+        li $t1, 0
+        bc1f no
+        b out
+        no: li $t1, 1
+        out:
+        """
+    )
+    assert m.regs[8] == 1 and m.regs[9] == 1
+
+
+def test_fp_load_store():
+    m = run_fp(
+        """
+        li.s $f1, 6.5
+        la $t0, buf
+        swc1 $f1, 0($t0)
+        lwc1 $f2, 0($t0)
+        lw $t1, 0($t0)
+        .data
+        buf: .word 0
+        .text
+        """
+    )
+    assert fval(m, 2) == 6.5
+    assert m.regs[9] == struct.unpack("<I", struct.pack("<f", 6.5))[0]
+
+
+def test_nan_compare_unordered():
+    m = run_fp(
+        """
+        li.s $f1, 0.0
+        li.s $f2, 0.0
+        div.s $f3, $f1, $f2      # NaN
+        c.eq.s $f3, $f3
+        """
+    )
+    assert m.regs[FCC] == 0
+
+
+@given(st.floats(width=32, allow_nan=False, allow_infinity=False),
+       st.floats(width=32, allow_nan=False, allow_infinity=False))
+def test_fp_add_matches_python_float32(a, b):
+    bits_a = struct.unpack("<I", struct.pack("<f", a))[0]
+    bits_b = struct.unpack("<I", struct.pack("<f", b))[0]
+    m = run_fp(
+        f"""
+        li $t0, {bits_a}
+        li $t1, {bits_b}
+        mtc1 $t0, $f1
+        mtc1 $t1, $f2
+        add.s $f3, $f1, $f2
+        """
+    )
+    expected = bits_from_f32(a + b)
+    assert m.regs[FP_BASE + 3] == expected
+
+
+# ------------------------------------------------------------------ timing
+
+
+def _fp_trace():
+    src = """
+    main: li $s0, 400
+          li.s $f1, 1.001
+          li.s $f2, 1.0
+    loop: mul.s $f2, $f2, $f1
+          add.s $f3, $f3, $f2
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    return tuple(Machine(assemble(src)).trace(10_000))
+
+
+def test_fp_timing_runs_all_configs():
+    trace = _fp_trace()
+    ideal = simulate(baseline_config(), trace)
+    sliced = simulate(bitslice_config(2), trace)
+    assert ideal.instructions == sliced.instructions == len(trace)
+    # The serial mul.s chain (4-cycle FP multiplier) dominates both.
+    assert 0 < sliced.ipc <= ideal.ipc * 1.02
+
+
+def test_fp_mult_unit_serializes():
+    """Back-to-back dependent mul.s cannot beat the 4-cycle unit."""
+    trace = _fp_trace()
+    stats = simulate(baseline_config(), trace)
+    # 400 iterations x 4-cycle serial multiplies bound the cycle count.
+    assert stats.cycles >= 400 * 4

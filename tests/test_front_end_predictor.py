@@ -1,0 +1,98 @@
+"""Combined front-end predictor over real traces."""
+
+from repro.branch.predictor import FrontEndPredictor
+from repro.emulator.trace import trace_program
+from repro.isa.assembler import assemble
+
+
+def _feed(src: str, n: int = 50_000):
+    predictor = FrontEndPredictor()
+    outcomes = []
+    for record in trace_program(assemble(src), max_steps=n):
+        if record.inst.is_control:
+            outcomes.append((record, predictor.predict_and_train(record)))
+    return predictor, outcomes
+
+
+def test_loop_branch_becomes_predictable():
+    predictor, outcomes = _feed(
+        """
+        main: li $t0, 2000
+        loop: addiu $t0, $t0, -1
+              bgtz $t0, loop
+              halt
+        """
+    )
+    assert predictor.direction_accuracy > 0.99
+
+
+def test_direct_jumps_never_mispredict():
+    _, outcomes = _feed(
+        """
+        main: li $t0, 500
+        loop: addiu $t0, $t0, -1
+              j check
+        check: bgtz $t0, loop
+              halt
+        """
+    )
+    jumps = [o for r, o in outcomes if r.inst.mnemonic == "j"]
+    assert jumps and all(not o.mispredicted for o in jumps)
+
+
+def test_returns_predicted_by_ras():
+    predictor, outcomes = _feed(
+        """
+        main: li $s0, 300
+        loop: jal callee
+              addiu $s0, $s0, -1
+              bgtz $s0, loop
+              halt
+        callee: jr $ra
+        """
+    )
+    returns = [o for r, o in outcomes if r.inst.mnemonic == "jr"]
+    mispredicted = sum(o.mispredicted for o in returns)
+    assert len(returns) == 300
+    assert mispredicted == 0
+
+
+def test_indirect_jump_learns_via_btb():
+    predictor, outcomes = _feed(
+        """
+        main: li $s0, 400
+        la $s1, target
+        loop: jalr $t9, $s1
+              addiu $s0, $s0, -1
+              bgtz $s0, loop
+              halt
+        target: jr $t9
+        """
+    )
+    calls = [o for r, o in outcomes if r.inst.mnemonic == "jalr"]
+    # First call misses in the BTB, the rest hit.
+    assert calls[0].mispredicted
+    assert not any(o.mispredicted for o in calls[5:])
+
+
+def test_non_control_raises():
+    import pytest
+
+    from repro.emulator.trace import TraceRecord
+    from repro.isa.instructions import Instruction
+
+    record = TraceRecord(
+        pc=0, inst=Instruction("addu", rs=1, rt=2, rd=3),
+        rs_val=0, rt_val=0, result=0, mem_addr=-1, taken=False, next_pc=4,
+    )
+    with pytest.raises(ValueError):
+        FrontEndPredictor().predict_and_train(record)
+
+
+def test_mispredicted_direction_counts(small_traces):
+    predictor = FrontEndPredictor()
+    for record in small_traces["bzip"]:
+        if record.inst.is_control:
+            predictor.predict_and_train(record)
+    assert predictor.cond_count > 0
+    assert 0.5 < predictor.direction_accuracy <= 1.0

@@ -1,0 +1,73 @@
+"""Dataflow queries on the instruction IR."""
+
+from repro.isa.instructions import NOP, Instruction
+from repro.isa.registers import HI, LO
+
+
+def test_r3_dataflow():
+    inst = Instruction("addu", rs=1, rt=2, rd=3)
+    assert inst.src_regs() == (1, 2)
+    assert inst.dst_regs() == (3,)
+
+
+def test_write_to_zero_discarded():
+    inst = Instruction("addu", rs=1, rt=2, rd=0)
+    assert inst.dst_regs() == ()
+
+
+def test_shift_const_reads_rt_only():
+    inst = Instruction("sll", rt=5, rd=6, shamt=2)
+    assert inst.src_regs() == (5,)
+    assert inst.dst_regs() == (6,)
+
+
+def test_variable_shift_reads_both():
+    inst = Instruction("sllv", rs=1, rt=2, rd=3)
+    assert set(inst.src_regs()) == {1, 2}
+
+
+def test_load_store_dataflow():
+    load = Instruction("lw", rs=4, rt=5, imm=8)
+    assert load.src_regs() == (4,)
+    assert load.dst_regs() == (5,)
+    store = Instruction("sw", rs=4, rt=5, imm=8)
+    assert set(store.src_regs()) == {4, 5}
+    assert store.dst_regs() == ()
+
+
+def test_multdiv_writes_hi_lo():
+    inst = Instruction("mult", rs=1, rt=2)
+    assert inst.dst_regs() == (HI, LO)
+    assert Instruction("mfhi", rd=3).src_regs() == (HI,)
+    assert Instruction("mflo", rd=3).src_regs() == (LO,)
+    assert Instruction("mthi", rs=3).dst_regs() == (HI,)
+    assert Instruction("mtlo", rs=3).dst_regs() == (LO,)
+
+
+def test_jal_writes_ra():
+    assert Instruction("jal", target=4).dst_regs() == (31,)
+
+
+def test_jalr_default_link_register():
+    assert Instruction("jalr", rs=2, rd=0).dst_regs() == (31,)
+    assert Instruction("jalr", rs=2, rd=5).dst_regs() == (5,)
+
+
+def test_branch_classification():
+    for m in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+        inst = Instruction(m, rs=1, rt=2)
+        assert inst.is_branch and inst.is_control and not inst.is_jump
+    for m in ("j", "jal"):
+        inst = Instruction(m, target=0)
+        assert inst.is_jump and inst.is_control and not inst.is_branch
+
+
+def test_nop_detection():
+    assert NOP.is_nop
+    assert not Instruction("sll", rt=1, rd=1, shamt=0).is_nop
+
+
+def test_lui_has_no_sources():
+    inst = Instruction("lui", rt=3, imm=0x1234)
+    assert inst.src_regs() == ()
+    assert inst.dst_regs() == (3,)

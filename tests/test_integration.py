@@ -1,0 +1,69 @@
+"""End-to-end integration: assembler → emulator → timing, all benchmarks.
+
+Golden outputs pin the complete toolchain: any change to the
+assembler's encoding, the emulator's semantics, the PRNG, or a
+workload's source shows up as a checksum mismatch here.
+"""
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config, simple_pipeline_config
+from repro.timing.simulator import simulate
+from repro.workloads import BENCHMARK_NAMES, get_workload
+
+#: stdout of every workload at iters=1 (deterministic by construction).
+GOLDEN_OUTPUTS = {
+    "bzip": "bzip:1760795205",
+    "gcc": "gcc:157028",
+    "go": "go:-168",
+    "gzip": "gzip:681860353",
+    "ijpeg": "ijpeg:-1162",
+    "li": "li:104651",
+    "mcf": "mcf:1136",
+    "parser": "parser:1657",
+    "twolf": "twolf:-194",
+    "vortex": "vortex:27604",
+    "vpr": "vpr:1204",
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_golden_checksums(name):
+    machine = get_workload(name).run(iters=1)
+    assert machine.stdout.strip() == GOLDEN_OUTPUTS[name]
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_timing_pipeline_hierarchy_all_benchmarks(name):
+    """The headline ordering must hold on a short window of every
+    benchmark: ideal >= bit-sliced > simple pipelining."""
+    trace = tuple(get_workload(name).trace(max_steps=5_000, iters=1, skip=0))
+    ideal = simulate(baseline_config(), trace).ipc
+    sliced = simulate(bitslice_config(2), trace).ipc
+    simple = simulate(simple_pipeline_config(2), trace).ipc
+    assert simple < ideal * 1.001, name
+    assert sliced <= ideal * 1.02, name
+    assert sliced >= simple * 0.999, name
+
+
+def test_full_stack_single_shot():
+    """One complete pass: source → program → machine → trace →
+    characterizations → timing → rendered report."""
+    from repro.characterization import characterize_branches, characterize_lsq, characterize_tags
+    from repro.memsys.cache import CacheConfig
+
+    workload = get_workload("li")
+    trace = tuple(workload.trace(max_steps=6_000, iters=1, skip=0))
+
+    branches = characterize_branches(trace, benchmark="li")
+    assert branches.branches > 0
+
+    lsq = characterize_lsq(trace, benchmark="li", bits=(2, 9, 31))
+    assert lsq.loads > 0
+
+    tags = characterize_tags(trace, CacheConfig(size=8 * 1024, assoc=4, line_size=32))
+    assert tags.accesses > 0
+
+    stats = simulate(bitslice_config(4), trace)
+    assert stats.instructions == len(trace)
+    assert "IPC" in stats.summary()

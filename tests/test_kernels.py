@@ -1,0 +1,122 @@
+"""Classic kernels vs. host oracles: the strongest end-to-end checks.
+
+Each kernel's guest result is compared against an independent Python
+computation (CRC32 even against the standard library).
+"""
+
+import binascii
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.machine import Machine, to_signed
+from repro.isa.assembler import assemble
+from repro.workloads import kernels
+
+
+def run_kernel(source: str, max_steps: int = 20_000_000) -> int:
+    """Run and return the printed (signed) checksum."""
+    machine = Machine(assemble(source))
+    machine.run(max_steps)
+    assert machine.halted
+    return int(machine.stdout.split(":")[1])
+
+
+def test_fibonacci():
+    assert run_kernel(kernels.fibonacci(25)) == 75025
+    assert run_kernel(kernels.fibonacci(1)) == 1
+
+
+@given(st.integers(1, 46))
+@settings(max_examples=15, deadline=None)
+def test_fibonacci_property(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b) & 0xFFFFFFFF
+    expected = to_signed(a)
+    assert run_kernel(kernels.fibonacci(n)) == expected
+
+
+def test_fibonacci_validates():
+    with pytest.raises(ValueError):
+        kernels.fibonacci(0)
+
+
+def test_sieve():
+    # π(1000) = 168
+    assert run_kernel(kernels.sieve(1000)) == 168
+    assert run_kernel(kernels.sieve(100)) == 25
+
+
+def test_sieve_validates():
+    with pytest.raises(ValueError):
+        kernels.sieve(5)
+
+
+def test_crc32_against_stdlib():
+    data = b"The quick brown fox jumps over the lazy dog"
+    expected = to_signed(binascii.crc32(data))
+    assert run_kernel(kernels.crc32(data)) == expected
+
+
+@given(st.binary(min_size=1, max_size=64))
+@settings(max_examples=20, deadline=None)
+def test_crc32_property(data):
+    expected = to_signed(binascii.crc32(data))
+    assert run_kernel(kernels.crc32(data)) == expected
+
+
+def test_crc32_validates():
+    with pytest.raises(ValueError):
+        kernels.crc32(b"")
+
+
+def test_bubble_sort():
+    values = [5, -3, 99, 0, 12, -100, 7]
+    expected = 0
+    for v in sorted(values):
+        expected = ((expected * 31) + (v & 0xFFFFFFFF)) & 0xFFFFFFFF
+    assert run_kernel(kernels.bubble_sort(values)) == to_signed(expected)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+@settings(max_examples=15, deadline=None)
+def test_bubble_sort_property(values):
+    expected = 0
+    for v in sorted(values):
+        expected = ((expected * 31) + (v & 0xFFFFFFFF)) & 0xFFFFFFFF
+    assert run_kernel(kernels.bubble_sort(values)) == to_signed(expected)
+
+
+@given(st.integers(1, 500), st.integers(1, 500))
+@settings(max_examples=20, deadline=None)
+def test_gcd_property(a, b):
+    assert run_kernel(kernels.gcd(a, b)) == math.gcd(a, b)
+
+
+def test_matmul_trace():
+    n, seed = 8, 7
+    a, b = kernels.host_matrices(n, seed)
+    expected = sum(sum(a[i][k] * b[k][i] for k in range(n)) for i in range(n))
+    assert run_kernel(kernels.matmul(n, seed)) == expected
+
+
+@pytest.mark.parametrize("n,seed", [(2, 1), (5, 3), (12, 99)])
+def test_matmul_sizes(n, seed):
+    a, b = kernels.host_matrices(n, seed)
+    expected = sum(sum(a[i][k] * b[k][i] for k in range(n)) for i in range(n))
+    assert run_kernel(kernels.matmul(n, seed)) == expected
+
+
+def test_kernels_run_under_timing_simulator():
+    """Kernels double as timing-sim inputs."""
+    from repro.core.config import baseline_config, bitslice_config
+    from repro.emulator.trace import trace_program
+    from repro.timing.simulator import simulate
+
+    trace = tuple(trace_program(assemble(kernels.sieve(2000)), max_steps=40_000))
+    ideal = simulate(baseline_config(), trace)
+    sliced = simulate(bitslice_config(2), trace)
+    assert 0 < sliced.ipc <= ideal.ipc * 1.02

@@ -1,0 +1,118 @@
+"""Bit-serial load–store disambiguation (paper §5.1, Figure 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsq.disambiguation import (
+    FIRST_COMPARE_BIT,
+    FORWARDING_CATEGORIES,
+    LSDCategory,
+    bits_to_disambiguate,
+    classify_disambiguation,
+)
+
+ADDR = st.integers(0, 0xFFFFFFFF)
+
+
+def test_no_stores():
+    assert classify_disambiguation(0x1000, [], 8) is LSDCategory.NO_STORES
+
+
+def test_zero_match_rules_all_out():
+    # load 0b...0100, store 0b...1000: differ at bit 2.
+    assert classify_disambiguation(0x4, [0x8], 3) is LSDCategory.ZERO_MATCH
+
+
+def test_single_match_one_store():
+    assert classify_disambiguation(0x1000, [0x1000], 31) is LSDCategory.SINGLE_MATCH_ONE_STORE
+
+
+def test_single_match_mult_stores():
+    cat = classify_disambiguation(0x1000, [0x1000, 0x2000], 31)
+    assert cat is LSDCategory.SINGLE_MATCH_MULT_STORES
+
+
+def test_single_nonmatch():
+    # Store agrees on bits [2,9] but differs above.
+    load, store = 0x0000_0100, 0x8000_0100
+    assert classify_disambiguation(load, [store], 9) is LSDCategory.SINGLE_NONMATCH
+
+
+def test_multi_same_addr():
+    cat = classify_disambiguation(0x1000, [0x1000, 0x1000], 31)
+    assert cat is LSDCategory.MULTI_SAME_ADDR
+
+
+def test_multi_diff_addr():
+    # Two stores both matching the low bits of the load but different.
+    load = 0x0000_0010
+    stores = [0x1000_0010, 0x2000_0010]
+    assert classify_disambiguation(load, stores, 9) is LSDCategory.MULTI_DIFF_ADDR
+
+
+def test_byte_offset_bits_ignored():
+    """Bits 0-1 never participate (word-granular conflicts)."""
+    assert classify_disambiguation(0x1001, [0x1002], 31) is LSDCategory.SINGLE_MATCH_ONE_STORE
+
+
+def test_high_bit_bounds():
+    with pytest.raises(ValueError):
+        classify_disambiguation(0, [], 1)
+    with pytest.raises(ValueError):
+        classify_disambiguation(0, [], 32)
+
+
+def test_forwarding_categories():
+    assert LSDCategory.SINGLE_MATCH_ONE_STORE in FORWARDING_CATEGORIES
+    assert LSDCategory.ZERO_MATCH not in FORWARDING_CATEGORIES
+
+
+def test_bits_to_disambiguate_trivial():
+    assert bits_to_disambiguate(0x1234, []) == FIRST_COMPARE_BIT
+
+
+def test_bits_to_disambiguate_early_ruleout():
+    # Differ at bit 2: decisive immediately.
+    assert bits_to_disambiguate(0x4, [0x8]) == 2
+    # Differ only at bit 20: decisive at bit 20.
+    assert bits_to_disambiguate(0x0, [1 << 20]) == 20
+
+
+@given(ADDR, st.lists(ADDR, max_size=8), st.integers(2, 31))
+def test_partial_never_rules_out_true_match(load, stores, high_bit):
+    """Soundness: if some store truly matches the load (full compare),
+    no partial width may classify the comparison as ZERO_MATCH —
+    otherwise early disambiguation would let a load incorrectly pass a
+    conflicting store."""
+    mask = 0xFFFFFFFC
+    truly_matches = any((s & mask) == (load & mask) for s in stores)
+    category = classify_disambiguation(load, stores, high_bit)
+    if truly_matches:
+        assert category is not LSDCategory.ZERO_MATCH
+        assert category is not LSDCategory.NO_STORES
+
+
+@given(ADDR, st.lists(ADDR, min_size=1, max_size=8))
+def test_full_width_is_decisive(load, stores):
+    """At bit 31 the classification reflects the exact outcome."""
+    category = classify_disambiguation(load, stores, 31)
+    mask = 0xFFFFFFFC
+    matches = [s for s in stores if (s & mask) == (load & mask)]
+    if not matches:
+        assert category is LSDCategory.ZERO_MATCH
+    else:
+        assert category in FORWARDING_CATEGORIES
+
+
+@given(ADDR, st.lists(ADDR, max_size=8))
+def test_categories_monotone_refinement(load, stores):
+    """Once all stores are ruled out at some width, wider comparisons
+    stay ruled out (more bits never resurrect a mismatch)."""
+    ruled_out_at = None
+    for b in range(2, 32):
+        cat = classify_disambiguation(load, stores, b)
+        if ruled_out_at is not None:
+            assert cat in (LSDCategory.ZERO_MATCH, LSDCategory.NO_STORES)
+        elif cat in (LSDCategory.ZERO_MATCH, LSDCategory.NO_STORES):
+            ruled_out_at = b

@@ -1,0 +1,115 @@
+"""LSQ model: occupancy, partial search semantics, flush."""
+
+import pytest
+
+from repro.lsq.queue import LoadStoreQueue, PartialSearchResult
+
+
+def _store(queue, seq, addr=None, bits=0):
+    entry = queue.insert(seq, is_store=True)
+    if addr is not None:
+        queue.set_address_bits(entry, addr, bits)
+    return entry
+
+
+def _load(queue, seq, addr, bits=32):
+    entry = queue.insert(seq, is_store=False)
+    queue.set_address_bits(entry, addr, bits)
+    return entry
+
+
+def test_capacity_enforced():
+    q = LoadStoreQueue(capacity=2)
+    q.insert(1, True)
+    q.insert(2, False)
+    assert q.full
+    with pytest.raises(OverflowError):
+        q.insert(3, False)
+
+
+def test_no_older_stores():
+    q = LoadStoreQueue()
+    load = _load(q, 5, 0x1000)
+    assert q.search(load) == (PartialSearchResult.NO_CONFLICT, None)
+
+
+def test_unknown_store_address_blocks():
+    q = LoadStoreQueue()
+    _store(q, 1)  # address entirely unknown
+    load = _load(q, 2, 0x1000)
+    result, _ = q.search(load)
+    assert result is PartialSearchResult.UNKNOWN
+
+
+def test_partial_bits_rule_out_store():
+    q = LoadStoreQueue()
+    # Store's low 16 bits known and they differ from the load's.
+    _store(q, 1, 0x0000_1100, bits=16)
+    load = _load(q, 2, 0x0000_2200, bits=16)
+    result, _ = q.search(load)
+    assert result is PartialSearchResult.NO_CONFLICT
+
+
+def test_partial_candidate_until_full():
+    q = LoadStoreQueue()
+    _store(q, 1, 0x0000_1100, bits=16)
+    load = _load(q, 2, 0x0000_1100, bits=16)
+    result, store = q.search(load)
+    assert result is PartialSearchResult.PARTIAL_CANDIDATE
+    assert store is not None
+
+
+def test_full_match_forwards():
+    q = LoadStoreQueue()
+    s = _store(q, 1, 0x1100, bits=32)
+    load = _load(q, 2, 0x1100, bits=32)
+    result, store = q.search(load)
+    assert result is PartialSearchResult.FORWARD
+    assert store is s
+
+
+def test_youngest_matching_store_forwards():
+    q = LoadStoreQueue()
+    _store(q, 1, 0x1100, bits=32)
+    s2 = _store(q, 2, 0x1100, bits=32)
+    load = _load(q, 3, 0x1100, bits=32)
+    result, store = q.search(load)
+    assert result is PartialSearchResult.FORWARD
+    assert store is s2
+
+
+def test_load_with_no_bits_is_unknown():
+    q = LoadStoreQueue()
+    _store(q, 1, 0x1100, bits=32)
+    load = q.insert(2, is_store=False)
+    assert q.search(load)[0] is PartialSearchResult.UNKNOWN
+
+
+def test_younger_stores_ignored():
+    q = LoadStoreQueue()
+    load = _load(q, 1, 0x1100)
+    _store(q, 2, 0x1100, bits=32)
+    assert q.search(load)[0] is PartialSearchResult.NO_CONFLICT
+
+
+def test_clear_after_flush():
+    q = LoadStoreQueue()
+    _store(q, 1, 0x1000, bits=32)
+    _store(q, 5, 0x2000, bits=32)
+    q.clear_after(2)
+    assert len(q) == 1
+    assert q.entries[0].seq == 1
+
+
+def test_remove_on_commit():
+    q = LoadStoreQueue()
+    s = _store(q, 1, 0x1000, bits=32)
+    q.remove(s)
+    assert len(q) == 0
+
+
+def test_full_address_recorded():
+    q = LoadStoreQueue()
+    entry = q.insert(1, True)
+    q.set_address_bits(entry, 0xDEADBEEF, 32)
+    assert entry.addr == 0xDEADBEEF

@@ -1,0 +1,304 @@
+"""Architectural semantics of the emulator, one behaviour per test."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emulator.machine import EmulatorError, Machine, to_signed
+from repro.isa.assembler import STACK_TOP, assemble
+from repro.isa.registers import reg_num
+
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+def run_fragment(body: str, max_steps: int = 100_000) -> Machine:
+    machine = Machine(assemble(f"main:\n{body}\nhalt\n"))
+    machine.run(max_steps)
+    assert machine.halted
+    return machine
+
+
+def reg(machine: Machine, name: str) -> int:
+    return machine.regs[reg_num(name)]
+
+
+def test_initial_state():
+    machine = Machine(assemble("main: nop\n halt\n"))
+    assert machine.regs[reg_num("$sp")] == STACK_TOP
+    assert machine.pc == machine.program.entry
+    assert not machine.halted
+
+
+def test_zero_register_immutable():
+    m = run_fragment("addiu $0, $0, 5\n addiu $t0, $0, 1")
+    assert m.regs[0] == 0
+    assert reg(m, "$t0") == 1
+
+
+def test_addu_wraps():
+    m = run_fragment("li $t0, 0xffffffff\n addiu $t0, $t0, 1")
+    assert reg(m, "$t0") == 0
+
+
+def test_subu_wraps():
+    m = run_fragment("li $t0, 0\n li $t1, 1\n subu $t2, $t0, $t1")
+    assert reg(m, "$t2") == 0xFFFFFFFF
+
+
+def test_logic_ops():
+    m = run_fragment(
+        """
+        li $t0, 0xf0f0f0f0
+        li $t1, 0x0ff00ff0
+        and $t2, $t0, $t1
+        or  $t3, $t0, $t1
+        xor $t4, $t0, $t1
+        nor $t5, $t0, $t1
+        """
+    )
+    assert reg(m, "$t2") == 0x00F000F0
+    assert reg(m, "$t3") == 0xFFF0FFF0
+    assert reg(m, "$t4") == 0xFF00FF00
+    assert reg(m, "$t5") == 0x000F000F
+
+
+def test_shifts():
+    m = run_fragment(
+        """
+        li $t0, 0x80000001
+        sll $t1, $t0, 4
+        srl $t2, $t0, 4
+        sra $t3, $t0, 4
+        li $t4, 8
+        sllv $t5, $t0, $t4
+        srlv $t6, $t0, $t4
+        srav $t7, $t0, $t4
+        """
+    )
+    assert reg(m, "$t1") == 0x00000010
+    assert reg(m, "$t2") == 0x08000000
+    assert reg(m, "$t3") == 0xF8000000
+    assert reg(m, "$t5") == 0x00000100
+    assert reg(m, "$t6") == 0x00800000
+    assert reg(m, "$t7") == 0xFF800000
+
+
+def test_variable_shift_uses_low_5_bits():
+    m = run_fragment("li $t0, 1\n li $t1, 33\n sllv $t2, $t0, $t1")
+    assert reg(m, "$t2") == 2  # 33 & 31 == 1
+
+
+def test_set_less_than_signed_unsigned():
+    m = run_fragment(
+        """
+        li $t0, -1
+        li $t1, 1
+        slt  $t2, $t0, $t1
+        sltu $t3, $t0, $t1
+        slti $t4, $t0, 0
+        sltiu $t5, $t1, 2
+        """
+    )
+    assert reg(m, "$t2") == 1   # -1 < 1 signed
+    assert reg(m, "$t3") == 0   # 0xffffffff > 1 unsigned
+    assert reg(m, "$t4") == 1
+    assert reg(m, "$t5") == 1
+
+
+def test_lui_ori_build_constant():
+    m = run_fragment("lui $t0, 0x1234\n ori $t0, $t0, 0x5678")
+    assert reg(m, "$t0") == 0x12345678
+
+
+def test_memory_byte_sign_extension():
+    m = run_fragment(
+        """
+        li $t0, 0x80
+        la $t1, v
+        sb $t0, 0($t1)
+        lb $t2, 0($t1)
+        lbu $t3, 0($t1)
+        .data
+        v: .word 0
+        .text
+        """
+    )
+    assert reg(m, "$t2") == 0xFFFFFF80
+    assert reg(m, "$t3") == 0x80
+
+
+def test_memory_half_sign_extension():
+    m = run_fragment(
+        """
+        li $t0, 0x8001
+        la $t1, v
+        sh $t0, 0($t1)
+        lh $t2, 0($t1)
+        lhu $t3, 0($t1)
+        .data
+        v: .word 0
+        .text
+        """
+    )
+    assert reg(m, "$t2") == 0xFFFF8001
+    assert reg(m, "$t3") == 0x8001
+
+
+def test_word_store_load():
+    m = run_fragment(
+        """
+        li $t0, 0xdeadbeef
+        la $t1, v
+        sw $t0, 0($t1)
+        lw $t2, 0($t1)
+        .data
+        v: .word 0
+        .text
+        """
+    )
+    assert reg(m, "$t2") == 0xDEADBEEF
+
+
+@pytest.mark.parametrize(
+    "branch,value,taken",
+    [
+        ("blez", 0, True), ("blez", -1, True), ("blez", 1, False),
+        ("bgtz", 1, True), ("bgtz", 0, False), ("bgtz", -1, False),
+        ("bltz", -1, True), ("bltz", 0, False),
+        ("bgez", 0, True), ("bgez", -5, False),
+    ],
+)
+def test_sign_branches(branch, value, taken):
+    m = run_fragment(
+        f"""
+        li $t0, {value}
+        li $t1, 0
+        {branch} $t0, yes
+        b done
+        yes: li $t1, 1
+        done:
+        """
+    )
+    assert reg(m, "$t1") == (1 if taken else 0)
+
+
+def test_beq_bne():
+    m = run_fragment(
+        """
+        li $t0, 5
+        li $t1, 5
+        li $t2, 0
+        beq $t0, $t1, eq
+        b after
+        eq: li $t2, 1
+        after:
+        bne $t0, $t1, ne
+        li $t3, 2
+        b done
+        ne: li $t3, 3
+        done:
+        """
+    )
+    assert reg(m, "$t2") == 1
+    assert reg(m, "$t3") == 2
+
+
+def test_jal_links_and_jr_returns():
+    m = run_fragment(
+        """
+        jal sub
+        li $t1, 2
+        b done
+        sub: li $t0, 1
+        jr $ra
+        done:
+        """
+    )
+    assert reg(m, "$t0") == 1
+    assert reg(m, "$t1") == 2
+
+
+def test_jalr_custom_link():
+    m = run_fragment(
+        """
+        la $t0, target
+        jalr $t1, $t0
+        b done
+        target: li $t2, 9
+        jr $t1
+        done:
+        """
+    )
+    assert reg(m, "$t2") == 9
+
+
+def test_mult_signed():
+    m = run_fragment("li $t0, -3\n li $t1, 7\n mult $t0, $t1\n mflo $t2\n mfhi $t3")
+    assert to_signed(reg(m, "$t2")) == -21
+    assert reg(m, "$t3") == 0xFFFFFFFF  # sign extension of the product
+
+
+def test_multu_large():
+    m = run_fragment("li $t0, 0x10000\n li $t1, 0x10000\n multu $t0, $t1\n mflo $t2\n mfhi $t3")
+    assert reg(m, "$t2") == 0
+    assert reg(m, "$t3") == 1
+
+
+def test_div_truncates_toward_zero():
+    m = run_fragment("li $t0, -7\n li $t1, 2\n div $t0, $t1\n mflo $t2\n mfhi $t3")
+    assert to_signed(reg(m, "$t2")) == -3
+    assert to_signed(reg(m, "$t3")) == -1
+
+
+def test_divu():
+    m = run_fragment("li $t0, 7\n li $t1, 2\n divu $t0, $t1\n mflo $t2\n mfhi $t3")
+    assert reg(m, "$t2") == 3
+    assert reg(m, "$t3") == 1
+
+
+def test_div_by_zero_defined_as_zero():
+    m = run_fragment("li $t0, 5\n li $t1, 0\n div $t0, $t1\n mflo $t2\n mfhi $t3")
+    assert reg(m, "$t2") == 0 and reg(m, "$t3") == 0
+
+
+def test_mthi_mtlo():
+    m = run_fragment("li $t0, 11\n mthi $t0\n li $t1, 22\n mtlo $t1\n mfhi $t2\n mflo $t3")
+    assert reg(m, "$t2") == 11 and reg(m, "$t3") == 22
+
+
+def test_step_after_halt_raises():
+    machine = Machine(assemble("main: halt\n"))
+    machine.run()
+    with pytest.raises(EmulatorError):
+        machine.step()
+
+
+def test_pc_out_of_text_raises():
+    machine = Machine(assemble("main: jr $t0\n"))  # $t0 = 0
+    machine.step()
+    with pytest.raises(EmulatorError):
+        machine.step()
+
+
+def test_run_respects_budget():
+    machine = Machine(assemble("main: b main\n"))
+    executed = machine.run(100)
+    assert executed == 100 and not machine.halted
+
+
+@given(U32, U32)
+def test_addu_matches_python(a, b):
+    m = run_fragment(f"li $t0, {a}\n li $t1, {b}\n addu $t2, $t0, $t1")
+    assert reg(m, "$t2") == (a + b) & 0xFFFFFFFF
+
+
+@given(U32, U32)
+def test_subu_matches_python(a, b):
+    m = run_fragment(f"li $t0, {a}\n li $t1, {b}\n subu $t2, $t0, $t1")
+    assert reg(m, "$t2") == (a - b) & 0xFFFFFFFF
+
+
+@given(U32, st.integers(0, 31))
+def test_sra_matches_python(a, sh):
+    m = run_fragment(f"li $t0, {a}\n sra $t2, $t0, {sh}")
+    assert reg(m, "$t2") == (to_signed(a) >> sh) & 0xFFFFFFFF

@@ -1,0 +1,83 @@
+"""Sparse memory: endianness, alignment, paging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emulator.memory import PAGE_SIZE, AlignmentError, SparseMemory
+
+
+def test_uninitialized_reads_zero():
+    mem = SparseMemory()
+    assert mem.read_word(0x1000_0000) == 0
+    assert mem.read_byte(0xFFFF_FFFF) == 0
+    assert mem.resident_pages == 0
+
+
+def test_little_endian_word():
+    mem = SparseMemory()
+    mem.write_word(0x100, 0x11223344)
+    assert mem.read_byte(0x100) == 0x44
+    assert mem.read_byte(0x103) == 0x11
+    assert mem.read_half(0x100) == 0x3344
+    assert mem.read_half(0x102) == 0x1122
+
+
+def test_alignment_enforced():
+    mem = SparseMemory()
+    with pytest.raises(AlignmentError):
+        mem.read_word(0x101)
+    with pytest.raises(AlignmentError):
+        mem.write_word(0x102, 0)
+    with pytest.raises(AlignmentError):
+        mem.read_half(0x101)
+    with pytest.raises(AlignmentError):
+        mem.write_half(0x103, 0)
+
+
+def test_cross_page_block_write():
+    mem = SparseMemory()
+    addr = PAGE_SIZE - 2
+    mem.write_block(addr, b"abcd")
+    assert mem.read_block(addr, 4) == b"abcd"
+    assert mem.resident_pages == 2
+
+
+def test_byte_write_masks_value():
+    mem = SparseMemory()
+    mem.write_byte(0x10, 0x1FF)
+    assert mem.read_byte(0x10) == 0xFF
+
+
+def test_word_write_masks_value():
+    mem = SparseMemory()
+    mem.write_word(0x10, -1 & 0xFFFFFFFF)
+    assert mem.read_word(0x10) == 0xFFFFFFFF
+
+
+def test_cstring_read():
+    mem = SparseMemory()
+    mem.write_block(0x200, b"hello\x00world")
+    assert mem.read_cstring(0x200) == b"hello"
+    assert mem.read_cstring(0x206) == b"world"
+
+
+def test_cstring_limit():
+    mem = SparseMemory()
+    mem.write_block(0x300, b"x" * 100)
+    assert len(mem.read_cstring(0x300, limit=10)) == 10
+
+
+@given(st.integers(0, 0xFFFFFFFC // 4 * 4), st.integers(0, 0xFFFFFFFF))
+def test_word_roundtrip_property(addr, value):
+    addr &= ~3
+    mem = SparseMemory()
+    mem.write_word(addr, value)
+    assert mem.read_word(addr) == value
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 2**32 - 65))
+def test_block_roundtrip_property(payload, addr):
+    mem = SparseMemory()
+    mem.write_block(addr, payload)
+    assert mem.read_block(addr, len(payload)) == payload

@@ -1,0 +1,102 @@
+"""Smaller behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config, pipeline_diagram, simple_pipeline_config
+from repro.experiments.runner import clear_trace_cache, collect_trace
+from repro.isa.assembler import AssemblerError, assemble
+from repro.timing.detailed import DetailedStats
+from repro.timing.stats import SimStats
+from repro.workloads import build_program
+
+
+def test_pipeline_diagram_matches_figure10():
+    base = pipeline_diagram(baseline_config())
+    assert base.startswith("Fetch1 Fetch2 Dec1 Dec2 DP1 DP2 Sch1 Sch2 Sch3 Iss RF1 RF2")
+    assert " EX " in base and "EX1" not in base
+    two = pipeline_diagram(simple_pipeline_config(2))
+    assert "EX1 EX2" in two
+    four = pipeline_diagram(bitslice_config(4))
+    assert "EX1 EX2 EX3 EX4" in four
+    # 15-stage count for the base machine (Fetch1..CT, Mem overlapped).
+    assert len(base.replace("[Mem]", "").split()) == 15
+
+
+def test_li_s_rejects_garbage():
+    with pytest.raises(AssemblerError):
+        assemble("main: li.s $f0, not_a_float\n halt\n")
+
+
+def test_li_s_expands():
+    program = assemble("main: li.s $f0, 1.0\n halt\n")
+    # lui (or ori) + mtc1 + halt expansion (2 instructions).
+    from repro.isa.encoding import decode
+
+    mnems = [decode(w).mnemonic for w in program.text]
+    assert "mtc1" in mnems
+
+
+def test_fp_operand_type_errors():
+    with pytest.raises(AssemblerError):
+        assemble("main: add.s $t0, $f1, $f2\n halt\n")
+    with pytest.raises(AssemblerError):
+        assemble("main: lwc1 $t0, 0($t1)\n halt\n")
+    with pytest.raises(AssemblerError):
+        assemble("main: mtc1 $f0, $f1\n halt\n")
+
+
+def test_build_program_defaults():
+    program = build_program("go")
+    assert program.entry == program.symbols["main"]
+
+
+def test_trace_cache_clear():
+    a = collect_trace("go", 500)
+    clear_trace_cache()
+    b = collect_trace("go", 500)
+    assert a is not b and a == b
+
+
+def test_stats_defaults():
+    stats = SimStats()
+    assert stats.ipc == 0.0
+    assert stats.branch_accuracy == 0.0
+    assert stats.load_fraction == 0.0
+    assert stats.ptm_way_mispredict_rate == 0.0
+
+
+def test_detailed_stats_defaults():
+    stats = DetailedStats()
+    assert stats.ipc == 0.0
+
+
+def test_describe_simple_pipe():
+    from repro.core.config import describe
+
+    text = describe(simple_pipeline_config(4))
+    assert "pipelined EX x4" in text
+
+
+def test_workload_repr_fields():
+    from repro.workloads import get_workload
+
+    w = get_workload("twolf")
+    assert w.default_iters > 0
+    assert "anneal" in w.description
+
+
+def test_assembler_rejects_fp_reg_in_int_slot():
+    with pytest.raises(AssemblerError):
+        assemble("main: addu $f0, $t0, $t1\n halt\n")
+
+
+def test_strip_comment_preserves_strings():
+    program = assemble(
+        """
+        .data
+        s: .asciiz "a#b;c"
+        .text
+        main: halt
+        """
+    )
+    assert b"a#b;c" in bytes(program.data)

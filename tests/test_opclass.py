@@ -1,0 +1,59 @@
+"""Operation classification for slicing."""
+
+import pytest
+
+from repro.isa.encoding import ALL_MNEMONICS
+from repro.isa.opclass import SLICEABLE, OpClass, is_sliceable, op_class
+
+
+def test_every_mnemonic_is_classified():
+    for m in ALL_MNEMONICS:
+        assert isinstance(op_class(m), OpClass)
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(ValueError):
+        op_class("nosuch")
+
+
+@pytest.mark.parametrize("m", ["and", "or", "xor", "nor", "andi", "ori", "xori", "lui"])
+def test_logic_class(m):
+    assert op_class(m) is OpClass.LOGIC
+
+
+@pytest.mark.parametrize("m", ["add", "addu", "sub", "subu", "addi", "addiu"])
+def test_arith_class(m):
+    assert op_class(m) is OpClass.ARITH
+
+
+def test_shift_direction_split():
+    assert op_class("sll") is OpClass.SHIFT_LEFT
+    assert op_class("sllv") is OpClass.SHIFT_LEFT
+    assert op_class("srl") is OpClass.SHIFT_RIGHT
+    assert op_class("sra") is OpClass.SHIFT_RIGHT
+
+
+def test_equality_branches_are_zero_test():
+    assert op_class("beq") is OpClass.ZERO_TEST
+    assert op_class("bne") is OpClass.ZERO_TEST
+
+
+@pytest.mark.parametrize("m", ["blez", "bgtz", "bltz", "bgez", "slt", "slti", "sltu", "sltiu"])
+def test_sign_dependent_are_compare(m):
+    assert op_class(m) is OpClass.COMPARE
+
+
+@pytest.mark.parametrize("m", ["mult", "multu", "div", "divu", "mfhi", "mflo"])
+def test_multdiv_full(m):
+    assert op_class(m) is OpClass.FULL
+
+
+def test_sliceable_set_matches_paper():
+    # Figure 8 and §6: arithmetic, logic and shifts slice; equality
+    # branches slice (§5.3); loads/stores slice their address
+    # generation; mult/div/FP do not.
+    assert OpClass.LOGIC in SLICEABLE
+    assert OpClass.ARITH in SLICEABLE
+    assert OpClass.ZERO_TEST in SLICEABLE
+    assert OpClass.FULL not in SLICEABLE
+    assert is_sliceable("addu") and is_sliceable("lw") and not is_sliceable("div")

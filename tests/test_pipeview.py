@@ -1,0 +1,92 @@
+"""Pipeline timeline capture and rendering."""
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.timing.pipeview import TimelineEvent, render_timeline, summarize_timeline
+from repro.timing.simulator import TimingSimulator
+
+SRC = """
+main:   li $s0, 50
+loop:   addu $t0, $s0, $s0
+        addiu $t0, $t0, 4
+        sll  $t1, $t0, 2
+        addiu $s0, $s0, -1
+        bgtz $s0, loop
+        halt
+"""
+
+
+def _timeline(config):
+    trace = tuple(Machine(assemble(SRC)).trace(2000))
+    sim = TimingSimulator(config, record_timeline=True)
+    sim.run(iter(trace))
+    return sim
+
+
+def test_timeline_disabled_by_default():
+    sim = TimingSimulator(baseline_config())
+    assert sim.timeline is None
+
+
+def test_timeline_event_per_instruction():
+    sim = _timeline(baseline_config())
+    assert len(sim.timeline) == sim.stats.instructions
+    for e in sim.timeline:
+        assert e.fetch <= e.dispatch < e.complete <= e.commit
+        assert e.latency == e.commit - e.fetch
+
+
+def test_timeline_order_is_program_order():
+    sim = _timeline(baseline_config())
+    seqs = [e.seq for e in sim.timeline]
+    assert seqs == sorted(seqs)
+    commits = [e.commit for e in sim.timeline]
+    assert commits == sorted(commits)  # in-order commit
+
+
+def test_sliced_timeline_has_per_slice_completions():
+    sim = _timeline(bitslice_config(2))
+    sliced_events = [e for e in sim.timeline if len(e.slice_completions) == 2]
+    assert sliced_events
+    for e in sliced_events:
+        assert max(e.slice_completions) == e.complete
+
+
+def test_mispredict_flag_present():
+    sim = _timeline(baseline_config())
+    branches = [e for e in sim.timeline if e.mnemonic == "bgtz"]
+    assert branches
+    # The final loop exit is mispredicted after warm-up.
+    assert any(e.mispredicted for e in branches)
+
+
+def test_render_timeline_text():
+    sim = _timeline(bitslice_config(2))
+    text = render_timeline(sim.timeline, limit=8)
+    lines = text.splitlines()
+    assert len(lines) == 9  # header + 8 rows
+    assert "F" in lines[1] and "C" in lines[1]
+    assert "cycles" in lines[0]
+
+
+def test_render_timeline_scales_wide_windows():
+    events = [
+        TimelineEvent(seq=i, pc=0, mnemonic="addu", text="addu", fetch=i * 50,
+                      dispatch=i * 50 + 6, slice_completions=(i * 50 + 13,),
+                      complete=i * 50 + 13, commit=i * 50 + 15)
+        for i in range(20)
+    ]
+    text = render_timeline(events, limit=20, max_width=60)
+    assert "1 char =" in text.splitlines()[0]
+
+
+def test_render_empty():
+    assert "no timeline" in render_timeline([])
+    assert "no timeline" in summarize_timeline([])
+
+
+def test_summarize():
+    sim = _timeline(baseline_config())
+    text = summarize_timeline(sim.timeline)
+    assert "median" in text and "mean" in text

@@ -1,0 +1,71 @@
+"""Workload input profiles (test/train/ref)."""
+
+import pytest
+
+from repro.emulator.analysis import profile_trace
+from repro.workloads import BENCHMARK_NAMES, get_workload
+from repro.workloads.common import scaled_size
+from repro.workloads.suite import PROFILES
+
+
+def test_profiles_defined():
+    assert PROFILES == {"test": 4, "train": 2, "ref": 1}
+
+
+def test_scaled_size_validates():
+    assert scaled_size(4096, 4) == 1024
+    with pytest.raises(ValueError):
+        scaled_size(4096, 3)
+    with pytest.raises(ValueError):
+        scaled_size(4096, 0)
+    with pytest.raises(ValueError):
+        scaled_size(2, 4)
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(KeyError):
+        get_workload("li").build(profile="huge")
+
+
+@pytest.mark.parametrize("name", ["bzip", "li", "mcf", "vortex"])
+def test_profiles_run_and_shrink(name):
+    w = get_workload(name)
+    instret = {}
+    for profile in ("test", "ref"):
+        machine = w.run(iters=1, profile=profile)
+        assert machine.halted and machine.stdout.startswith(f"{name}:")
+        instret[profile] = machine.instret
+    # A smaller footprint means less initialization work.
+    assert instret["test"] < instret["ref"]
+
+
+def test_profiles_are_deterministic():
+    a = get_workload("gzip").run(iters=1, profile="test").stdout
+    b = get_workload("gzip").run(iters=1, profile="test").stdout
+    assert a == b
+
+
+def test_working_set_shrinks_with_profile():
+    """Measured in the steady state (transactions touch the whole
+    store pseudo-randomly), the test profile's working set is smaller."""
+    w = get_workload("vortex")
+    big = profile_trace(w.trace(max_steps=15_000, iters=3500, profile="ref"))
+    small = profile_trace(w.trace(max_steps=15_000, iters=3500, profile="test"))
+    assert small.data_working_set < big.data_working_set
+
+
+def test_fixed_size_kernels_accept_profiles():
+    """go and vpr have intrinsic sizes: profiles run but do not shrink."""
+    for name in ("go", "vpr"):
+        w = get_workload(name)
+        ref = w.run(iters=1, profile="ref")
+        test = w.run(iters=1, profile="test")
+        assert ref.stdout == test.stdout
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_all_profiles_assemble(name):
+    w = get_workload(name)
+    for profile in PROFILES:
+        program = w.build(iters=1, profile=profile)
+        assert program.text

@@ -1,0 +1,45 @@
+"""Register naming and numbering."""
+
+import pytest
+
+from repro.isa.registers import HI, LO, NUM_REGS, REG_NAMES, reg_name, reg_num
+
+
+def test_canonical_names_count():
+    assert len(REG_NAMES) == 32
+
+
+def test_roundtrip_all_registers():
+    for num in range(NUM_REGS):
+        assert reg_num(reg_name(num)) == num
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("$zero", 0), ("$0", 0), ("zero", 0), ("r0", 0),
+        ("$at", 1), ("$v0", 2), ("$a0", 4), ("$t0", 8),
+        ("$s0", 16), ("$t8", 24), ("$gp", 28), ("$sp", 29),
+        ("$fp", 30), ("$s8", 30), ("$ra", 31), ("$31", 31),
+        ("  $t1 ", 9),
+    ],
+)
+def test_reg_num_aliases(text, expected):
+    assert reg_num(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["$t99", "$blah", "32", "$-1", ""])
+def test_reg_num_rejects_unknown(bad):
+    with pytest.raises(ValueError):
+        reg_num(bad)
+
+
+def test_reg_name_range_check():
+    with pytest.raises(ValueError):
+        reg_name(32)
+    with pytest.raises(ValueError):
+        reg_name(-1)
+
+
+def test_hi_lo_extended_numbers():
+    assert HI == 32 and LO == 33

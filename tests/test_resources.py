@@ -1,0 +1,44 @@
+"""Bandwidth pools and exclusive units."""
+
+import pytest
+
+from repro.timing.resources import BandwidthPool, ExclusiveUnit
+
+
+def test_pool_width_enforced():
+    pool = BandwidthPool(2)
+    assert pool.reserve(10) == 10
+    assert pool.reserve(10) == 10
+    assert pool.reserve(10) == 11  # third request spills to next cycle
+
+
+def test_pool_is_monotone_under_increasing_requests():
+    pool = BandwidthPool(1)
+    cycles = [pool.reserve(c) for c in range(100)]
+    assert cycles == sorted(cycles)
+
+
+def test_pool_backfills_earlier_free_cycles():
+    pool = BandwidthPool(1)
+    pool.reserve(5)
+    assert pool.reserve(3) == 3  # cycle 3 still free
+
+
+def test_pool_rejects_bad_width():
+    with pytest.raises(ValueError):
+        BandwidthPool(0)
+
+
+def test_pool_prunes_without_losing_recent_state():
+    pool = BandwidthPool(1)
+    for c in range(0, 10_000, 2):
+        pool.reserve(c)
+    # Still correct near the frontier.
+    assert pool.reserve(9_998) == 9_999
+
+
+def test_exclusive_unit_serializes():
+    unit = ExclusiveUnit()
+    assert unit.reserve(0, 10) == 0
+    assert unit.reserve(5, 3) == 10  # busy until 10
+    assert unit.reserve(50, 1) == 50

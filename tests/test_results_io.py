@@ -1,0 +1,88 @@
+"""Result serialization and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.results_io import (
+    Regression,
+    compare_results,
+    load_rows,
+    rows_to_json,
+    save_rows,
+)
+
+
+def _payload(rows):
+    return json.loads(rows_to_json("test", rows))
+
+
+def test_roundtrip_tuples(tmp_path):
+    rows = [("li", 2, "x", 0.5), ("mcf", 4, "y", 0.25)]
+    path = tmp_path / "r.json"
+    save_rows(path, "fig", rows, metadata={"n": 1000})
+    payload = load_rows(path)
+    assert payload["experiment"] == "fig"
+    assert payload["metadata"] == {"n": 1000}
+    assert payload["rows"] == [["li", 2, "x", 0.5], ["mcf", 4, "y", 0.25]]
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": 99, "rows": []}))
+    with pytest.raises(ValueError):
+        load_rows(path)
+
+
+def test_compare_identical_is_clean():
+    a = _payload([("li", "ipc", 1.0)])
+    assert compare_results(a, a) == []
+
+
+def test_compare_flags_changes():
+    a = _payload([("li", "ipc", 1.0), ("mcf", "ipc", 0.5)])
+    b = _payload([("li", "ipc", 1.2), ("mcf", "ipc", 0.5)])
+    regs = compare_results(a, b, tolerance=0.05)
+    assert len(regs) == 1
+    assert regs[0].key.startswith("li")
+    assert regs[0].relative_change == pytest.approx(0.2)
+    assert "->" in str(regs[0])
+
+
+def test_compare_within_tolerance_is_clean():
+    a = _payload([("li", "ipc", 1.00)])
+    b = _payload([("li", "ipc", 1.02)])
+    assert compare_results(a, b, tolerance=0.05) == []
+
+
+def test_compare_surfaces_additions_and_removals():
+    a = _payload([("li", "ipc", 1.0)])
+    b = _payload([("li", "ipc", 1.0), ("go", "ipc", 0.7)])
+    regs = compare_results(a, b)
+    assert any("go" in r.key for r in regs)
+
+
+def test_dataclass_rows(tmp_path):
+    result = table1.run(("go",), instructions=2_000, warmup=500)
+    path = tmp_path / "table1.json"
+    save_rows(path, "table1", result.rows())
+    payload = load_rows(path)
+    assert payload["rows"][0]["benchmark"] == "go"
+    assert compare_results(payload, payload) == []
+
+
+def test_real_experiment_regression_flow(tmp_path):
+    """The intended CI loop: archive a baseline, re-run, compare."""
+    base = table1.run(("go",), instructions=2_000, warmup=500)
+    save_rows(tmp_path / "base.json", "table1", base.rows())
+    # Same configuration, deterministic → no regressions.
+    again = table1.run(("go",), instructions=2_000, warmup=500)
+    save_rows(tmp_path / "cur.json", "table1", again.rows())
+    regs = compare_results(load_rows(tmp_path / "base.json"), load_rows(tmp_path / "cur.json"))
+    assert regs == []
+    # A different window is a visible "regression".
+    other = table1.run(("go",), instructions=4_000, warmup=500)
+    save_rows(tmp_path / "other.json", "table1", other.rows())
+    regs = compare_results(load_rows(tmp_path / "base.json"), load_rows(tmp_path / "other.json"))
+    assert regs  # instruction counts (and likely IPC) moved

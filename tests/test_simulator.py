@@ -1,0 +1,154 @@
+"""Timing-simulator invariants across configurations."""
+
+import pytest
+
+from repro.core.config import (
+    Features,
+    baseline_config,
+    bitslice_config,
+    cumulative_configs,
+    simple_pipeline_config,
+)
+from repro.timing.simulator import TimingSimulator, simulate
+
+
+def ipc(config, trace):
+    return simulate(config, trace).ipc
+
+
+def test_empty_trace():
+    stats = simulate(baseline_config(), [])
+    assert stats.instructions == 0 and stats.cycles == 0 and stats.ipc == 0.0
+
+
+def test_determinism(small_traces):
+    trace = small_traces["bzip"]
+    a = simulate(bitslice_config(2), trace)
+    b = simulate(bitslice_config(2), trace)
+    assert a.ipc == b.ipc and a.cycles == b.cycles
+
+
+def test_max_instructions_truncates(small_traces):
+    stats = simulate(baseline_config(), small_traces["bzip"], max_instructions=1000)
+    assert stats.instructions == 1000
+
+
+def test_warmup_excluded_from_counters(small_traces):
+    trace = small_traces["bzip"]
+    stats = simulate(baseline_config(), trace, max_instructions=2000, warmup=1000)
+    assert stats.instructions == 2000
+
+
+@pytest.mark.parametrize("name", ["bzip", "li", "mcf", "vortex"])
+def test_deeper_pipelines_lose_ipc(small_traces, name):
+    """Figure 11's starting point: naive EX pipelining costs IPC, and
+    more stages cost more."""
+    trace = small_traces[name]
+    ideal = ipc(baseline_config(), trace)
+    sp2 = ipc(simple_pipeline_config(2), trace)
+    sp4 = ipc(simple_pipeline_config(4), trace)
+    assert ideal > sp2 > sp4
+
+
+@pytest.mark.parametrize("name", ["bzip", "li", "mcf", "vortex"])
+@pytest.mark.parametrize("slices", [2, 4])
+def test_bitslice_recovers_ipc(small_traces, name, slices):
+    """The paper's headline: the bit-sliced machine lands between
+    simple pipelining and the ideal machine."""
+    trace = small_traces[name]
+    ideal = ipc(baseline_config(), trace)
+    simple = ipc(simple_pipeline_config(slices), trace)
+    sliced = ipc(bitslice_config(slices), trace)
+    assert sliced > simple
+    assert sliced <= ideal * 1.02  # no free lunch beyond modelling noise
+
+
+@pytest.mark.parametrize("slices", [2, 4])
+def test_cumulative_ladder_mostly_monotone(small_traces, slices):
+    """Each added technique should not hurt (small tolerance for
+    replay-penalty noise)."""
+    trace = small_traces["bzip"]
+    ipcs = [simulate(cfg, trace).ipc for _, cfg in cumulative_configs(slices)]
+    for prev, cur in zip(ipcs, ipcs[1:]):
+        assert cur >= prev * 0.98
+
+
+def test_slice2_closer_to_ideal_than_slice4(small_traces):
+    trace = small_traces["li"]
+    ideal = ipc(baseline_config(), trace)
+    gap2 = ideal - ipc(bitslice_config(2), trace)
+    gap4 = ideal - ipc(bitslice_config(4), trace)
+    assert gap2 <= gap4 + 1e-9
+
+
+def test_stats_counters_populated(small_traces):
+    stats = simulate(bitslice_config(2), small_traces["bzip"])
+    assert stats.loads > 0 and stats.stores > 0 and stats.branches > 0
+    assert stats.instructions == len(small_traces["bzip"])
+    assert 0 < stats.branch_accuracy <= 1
+    assert stats.ptm_accesses == stats.loads - stats.store_forwards
+    assert stats.cycles > stats.instructions / 4  # fetch width bound
+
+
+def test_ptm_stats_only_with_feature(small_traces):
+    no_ptm = Features(True, True, True, True, False)
+    stats = simulate(bitslice_config(2, no_ptm), small_traces["bzip"])
+    assert stats.ptm_accesses == 0
+
+
+def test_early_branch_stat_only_with_feature(small_traces):
+    no_eb = Features(True, True, False, False, False)
+    stats = simulate(bitslice_config(4, no_eb), small_traces["li"])
+    assert stats.early_resolved_mispredicts == 0
+    with_eb = Features(True, True, True, False, False)
+    stats2 = simulate(bitslice_config(4, with_eb), small_traces["li"])
+    assert stats2.early_resolved_mispredicts >= 0  # may legitimately be 0 on tiny traces
+
+
+def test_ipc_bounded_by_machine_width(small_traces):
+    for name, trace in small_traces.items():
+        stats = simulate(baseline_config(), trace)
+        assert 0 < stats.ipc <= 4.0, name
+
+
+def test_summary_renders(small_traces):
+    stats = simulate(bitslice_config(2), small_traces["li"])
+    text = stats.summary()
+    assert "IPC" in text and "config" in text
+
+
+def test_simulator_reusable_interface(small_traces):
+    sim = TimingSimulator(baseline_config())
+    stats = sim.run(iter(small_traces["li"]), max_instructions=500)
+    assert stats.instructions == 500
+
+
+def test_branch_mispredict_penalty_visible():
+    """Misprediction penalty must show up in cycles: the same trace
+    under a tiny (inaccurate) predictor runs slower than under the
+    Table 2 predictor."""
+    import dataclasses
+
+    from repro.emulator.trace import trace_program
+    from repro.isa.assembler import assemble
+
+    chaotic = """
+    main: li $s0, 3000
+          li $s1, 12345
+    loop: sll $t0, $s1, 13
+          xor $s1, $s1, $t0
+          srl $t0, $s1, 17
+          xor $s1, $s1, $t0
+          andi $t1, $s1, 1
+          beq $t1, $0, even
+          addiu $s0, $s0, -1
+    even: addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    trace = tuple(trace_program(assemble(chaotic), max_steps=9000))
+    big = simulate(baseline_config(), trace)
+    tiny_cfg = dataclasses.replace(baseline_config(), gshare_entries=16)
+    tiny = simulate(tiny_cfg, trace)
+    assert tiny.branch_accuracy < big.branch_accuracy
+    assert tiny.ipc < big.ipc

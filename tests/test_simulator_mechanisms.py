@@ -1,0 +1,292 @@
+"""Targeted microbenchmarks for individual timing-model mechanisms.
+
+Each test builds a small assembly kernel that isolates one modeled
+mechanism (store forwarding, structural stalls, I-cache misses, PTM
+paths, unit serialization, ...) and asserts its observable effect.
+"""
+
+import dataclasses
+
+from repro.core.config import Features, baseline_config, bitslice_config, simple_pipeline_config
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.timing.simulator import TimingSimulator, simulate
+
+
+def trace_of(src: str, n: int = 30_000):
+    return tuple(Machine(assemble(src)).trace(n))
+
+
+# ------------------------------------------------------------- forwarding
+
+
+def test_store_to_load_forwarding_detected():
+    src = """
+    main: li $s0, 2000
+          la $s1, buf
+    loop: sw $s0, 0($s1)
+          lw $t0, 0($s1)
+          addu $s2, $s2, $t0
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    buf: .word 0
+    .text
+    """
+    stats = simulate(baseline_config(), trace_of(src))
+    assert stats.store_forwards > 1500
+
+
+def test_disjoint_load_does_not_forward():
+    src = """
+    main: li $s0, 2000
+          la $s1, buf
+    loop: sw $s0, 0($s1)
+          lw $t0, 64($s1)
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    buf: .space 128
+    .text
+    """
+    stats = simulate(baseline_config(), trace_of(src))
+    assert stats.store_forwards == 0
+    assert stats.lsd_searches > 0
+
+
+# --------------------------------------------------------------- stalls
+
+
+def test_lsq_fills_under_memory_pressure():
+    """A long run of loads with L2 misses must expose LSQ stalls."""
+    src = """
+    main: li $s0, 3000
+          la $s1, arr
+          li $s2, 0
+    loop: sll $t0, $s2, 8
+          addu $t1, $s1, $t0
+          lw $t2, 0($t1)
+          lw $t3, 64($t1)
+          lw $t4, 128($t1)
+          addiu $s2, $s2, 7
+          andi $s2, $s2, 0x3ff
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    arr: .space 300000
+    .text
+    """
+    # Tiny memory latency exaggerated to force occupancy pressure.
+    cfg = dataclasses.replace(baseline_config(), memory_latency=400, lsq_size=8)
+    stats = simulate(cfg, trace_of(src, 20_000))
+    assert stats.lsq_stall_cycles > 0
+
+
+def test_ruu_fills_behind_long_latency_op():
+    src = """
+    main: li $s0, 800
+    loop: div $s1, $s0
+          mflo $s1
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    cfg = dataclasses.replace(baseline_config(), ruu_size=8, int_div_lat=40)
+    stats = simulate(cfg, trace_of(src))
+    assert stats.ruu_stall_cycles > 0
+
+
+def test_divider_serializes():
+    """Independent divides still share the single mult/div unit."""
+    dep = """
+    main: li $s0, 500
+          li $s1, 17
+    loop: div $s1, $s1
+          mflo $t0
+          div $s1, $s1
+          mflo $t1
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    stats = simulate(baseline_config(), trace_of(dep))
+    # 1000 divides x 20-cycle non-pipelined unit bound the cycle count.
+    assert stats.cycles >= 1000 * 20
+
+
+# ------------------------------------------------------------- I-cache
+
+
+def test_icache_misses_slow_fetch():
+    """A huge jump-chain exceeds the 64KB L1I: IPC must drop versus a
+    tight loop of the same instruction count."""
+    # Chain of jumps through 4096 distinct 64-byte-apart blocks.
+    blocks = []
+    for i in range(2048):
+        blocks.append(f"b{i}: addiu $s0, $s0, 1\n      j b{(i + 1) % 2048}\n")
+    big = "main: li $s0, 0\n" + "".join(blocks)
+    big_trace = tuple(Machine(assemble(big)).trace(12_000))
+    small = """
+    main: li $s0, 6000
+    loop: addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    small_trace = trace_of(small, 12_000)
+    big_stats = simulate(baseline_config(), big_trace)
+    small_stats = simulate(baseline_config(), small_trace)
+    assert big_stats.ipc < small_stats.ipc
+
+
+# ------------------------------------------------------------------ PTM
+
+
+def _ptm_stats(features: Features, src: str):
+    return simulate(bitslice_config(2, features), trace_of(src))
+
+
+def test_ptm_early_miss_signals():
+    """Loads striding far beyond the L1D produce early non-speculative
+    miss signals when the partial tags cannot match."""
+    src = """
+    main: li $s0, 4000
+          la $s1, arr
+          li $s2, 0
+    loop: sll $t0, $s2, 6
+          addu $t1, $s1, $t0
+          lw $t2, 0($t1)
+          addiu $s2, $s2, 19
+          andi $s2, $s2, 0xfff
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    arr: .space 270000
+    .text
+    """
+    stats = _ptm_stats(Features.all(), src)
+    assert stats.ptm_accesses > 0
+    assert stats.l1d_misses > 0
+    assert stats.ptm_early_misses > 0
+
+
+def test_ptm_hits_on_small_working_set():
+    src = """
+    main: li $s0, 4000
+          la $s1, arr
+    loop: lw $t0, 0($s1)
+          lw $t1, 64($s1)
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    .data
+    arr: .space 256
+    .text
+    """
+    stats = _ptm_stats(Features.all(), src)
+    assert stats.ptm_early_hits > 7000
+    assert stats.ptm_way_mispredict_rate < 0.01
+
+
+# ---------------------------------------------------------- fetch groups
+
+
+def test_taken_branches_break_fetch_groups():
+    """A taken-branch-per-2-instructions stream cannot sustain 4-wide
+    fetch even with perfect prediction."""
+    src = """
+    main: li $s0, 4000
+    a:    addiu $s0, $s0, -1
+          j b
+    b:    blez $s0, done
+          j a
+    done: halt
+    """
+    stats = simulate(baseline_config(), trace_of(src))
+    assert stats.ipc <= 2.0 + 1e-9
+
+
+def test_redirect_costs_full_frontend():
+    """Each mispredicted branch must cost at least the frontend depth."""
+    src = """
+    main: li $s0, 600
+          li $s1, 12345
+    loop: sll $t0, $s1, 13
+          xor $s1, $s1, $t0
+          srl $t0, $s1, 17
+          xor $s1, $s1, $t0
+          sll $t0, $s1, 5
+          xor $s1, $s1, $t0
+          andi $t1, $s1, 1
+          beq $t1, $0, even
+    odd:  addiu $s0, $s0, -1
+    even: addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    trace = trace_of(src)
+    tiny = dataclasses.replace(baseline_config(), gshare_entries=16)
+    stats = simulate(tiny, trace)
+    if stats.branch_mispredicts:
+        # Cycles must include ~frontend_depth per misprediction beyond
+        # the bandwidth floor.
+        floor = stats.instructions / 4
+        assert stats.cycles >= floor + stats.branch_mispredicts * 10
+
+
+# --------------------------------------------------------------- slicing
+
+
+def test_logic_chain_fully_recovers_under_slicing():
+    """A pure-logic dependence chain loses nothing to slicing (Figure
+    8c: slices independent)."""
+    src = """
+    main: li $s0, 4000
+          li $s1, -1
+    loop: xor $s1, $s1, $s0
+          or  $s1, $s1, $s0
+          and $s1, $s1, $s0
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    trace = trace_of(src)
+    ideal = simulate(baseline_config(), trace).ipc
+    sliced = simulate(bitslice_config(2), trace).ipc
+    assert sliced >= ideal * 0.97
+
+
+def test_shift_chain_pays_slice_penalty():
+    """A serial variable-shift chain keeps paying the inter-slice
+    communication (unlike logic)."""
+    src = """
+    main: li $s0, 4000
+          li $s1, 0x12345678
+    loop: srlv $s1, $s1, $s0
+          sllv $s1, $s1, $s0
+          ori  $s1, $s1, 0x135
+          addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    trace = trace_of(src)
+    ideal = simulate(baseline_config(), trace).ipc
+    sliced = simulate(bitslice_config(4), trace).ipc
+    assert sliced < ideal
+
+
+def test_timeline_and_stats_agree():
+    src = """
+    main: li $s0, 500
+    loop: addiu $s0, $s0, -1
+          bgtz $s0, loop
+          halt
+    """
+    trace = trace_of(src)
+    sim = TimingSimulator(baseline_config(), record_timeline=True)
+    stats = sim.run(iter(trace))
+    assert len(sim.timeline) == stats.instructions
+    assert sim.timeline[-1].commit == stats.cycles

@@ -1,0 +1,120 @@
+"""Bit-slice arithmetic: exactness against full-width 32-bit semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.slicing import (
+    first_nonzero_slice,
+    join_slices,
+    slice_width,
+    sliced_add,
+    sliced_logic,
+    sliced_sub,
+    slices_containing_difference,
+    split_value,
+)
+
+U32 = st.integers(0, 0xFFFFFFFF)
+SLICES = st.sampled_from([1, 2, 4])
+
+
+def test_slice_width():
+    assert slice_width(1) == 32
+    assert slice_width(2) == 16
+    assert slice_width(4) == 8
+    with pytest.raises(ValueError):
+        slice_width(3)
+
+
+def test_split_low_order_first():
+    assert split_value(0x12345678, 2) == (0x5678, 0x1234)
+    assert split_value(0x12345678, 4) == (0x78, 0x56, 0x34, 0x12)
+
+
+def test_join_rejects_overflowing_slice():
+    with pytest.raises(ValueError):
+        join_slices([0x1FFFF, 0])
+
+
+@given(U32, SLICES)
+def test_split_join_roundtrip(value, n):
+    assert join_slices(split_value(value, n)) == value
+
+
+@given(U32, U32, SLICES)
+def test_sliced_add_matches_full_add(a, b, n):
+    """The core slicing property: per-slice ripple addition with carry
+    chaining reproduces the architectural 32-bit sum exactly."""
+    slices, carries = sliced_add(a, b, n)
+    assert join_slices(slices) == (a + b) & 0xFFFFFFFF
+    assert all(c in (0, 1) for c in carries)
+
+
+@given(U32, U32, SLICES)
+def test_sliced_sub_matches_full_sub(a, b, n):
+    slices, _ = sliced_sub(a, b, n)
+    assert join_slices(slices) == (a - b) & 0xFFFFFFFF
+
+
+@given(U32, U32, SLICES, st.sampled_from(["and", "or", "xor", "nor"]))
+def test_sliced_logic_matches_full(a, b, n, op):
+    expected = {
+        "and": a & b,
+        "or": a | b,
+        "xor": a ^ b,
+        "nor": ~(a | b) & 0xFFFFFFFF,
+    }[op]
+    assert join_slices(sliced_logic(op, a, b, n)) == expected
+
+
+def test_sliced_logic_unknown_op():
+    with pytest.raises(ValueError):
+        sliced_logic("nand", 0, 0, 2)
+
+
+@given(U32, U32, SLICES)
+def test_carry_chain_consistency(a, b, n):
+    """Carry-out of slice k equals carry-in that makes slice k+1 exact —
+    the Figure 8(b) inter-slice dependency really carries all the
+    information the next slice needs."""
+    slices, carries = sliced_add(a, b, n)
+    width = slice_width(n)
+    mask = (1 << width) - 1
+    a_s, b_s = split_value(a, n), split_value(b, n)
+    carry = 0
+    for k in range(n):
+        total = a_s[k] + b_s[k] + carry
+        assert slices[k] == total & mask
+        carry = total >> width
+        assert carries[k] == carry
+
+
+def test_first_nonzero_slice():
+    assert first_nonzero_slice(5, 5, 4) is None
+    assert first_nonzero_slice(0x0000_0001, 0, 4) == 0
+    assert first_nonzero_slice(0x0001_0000, 0, 4) == 2
+    assert first_nonzero_slice(0x0001_0000, 0, 2) == 1
+    assert first_nonzero_slice(0x8000_0000, 0, 2) == 1
+
+
+@given(U32, U32, st.sampled_from([2, 4]))
+def test_difference_slices_complete(a, b, n):
+    """slices_containing_difference finds exactly the slices where the
+    split values differ, and first_nonzero_slice is its minimum."""
+    diff_slices = slices_containing_difference(a, b, n)
+    a_s, b_s = split_value(a, n), split_value(b, n)
+    assert diff_slices == tuple(k for k in range(n) if a_s[k] != b_s[k])
+    first = first_nonzero_slice(a, b, n)
+    if a == b:
+        assert first is None and diff_slices == ()
+    else:
+        assert first == diff_slices[0]
+
+
+@given(U32, U32)
+def test_zero_test_equivalence(a, b):
+    """A beq/bne comparison decomposes into per-slice equality: the
+    values are equal iff every slice pair is equal (paper §5.3)."""
+    for n in (2, 4):
+        assert (a == b) == (slices_containing_difference(a, b, n) == ())

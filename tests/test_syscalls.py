@@ -1,0 +1,55 @@
+"""Syscall layer behaviour."""
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.emulator.syscalls import UnknownSyscallError
+from repro.isa.assembler import assemble
+
+
+def test_exit_sets_code():
+    machine = Machine(assemble("main: li $a0, 3\n li $v0, 10\n syscall\n"))
+    machine.run()
+    assert machine.halted and machine.exit_code == 3
+
+
+def test_print_int_negative():
+    machine = Machine(assemble("main: li $a0, -42\n li $v0, 1\n syscall\n halt\n"))
+    machine.run()
+    assert machine.stdout == "-42"
+
+
+def test_print_char():
+    machine = Machine(assemble("main: li $a0, 'A'\n li $v0, 11\n syscall\n halt\n"))
+    machine.run()
+    assert machine.stdout == "A"
+
+
+def test_print_string():
+    machine = Machine(
+        assemble(
+            """
+            .data
+            msg: .asciiz "hey"
+            .text
+            main: la $a0, msg
+            li $v0, 4
+            syscall
+            halt
+            """
+        )
+    )
+    machine.run()
+    assert machine.stdout == "hey"
+
+
+def test_unknown_service_raises():
+    machine = Machine(assemble("main: li $v0, 99\n syscall\n halt\n"))
+    with pytest.raises(UnknownSyscallError):
+        machine.run()
+
+
+def test_break_halts():
+    machine = Machine(assemble("main: break\n nop\n"))
+    machine.run()
+    assert machine.halted

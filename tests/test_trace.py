@@ -1,0 +1,77 @@
+"""Trace records: fields, properties, and generator behaviour."""
+
+from repro.emulator.machine import Machine
+from repro.emulator.trace import trace_program
+from repro.isa.assembler import assemble
+
+
+def _trace(src: str, n: int = 1000):
+    return list(trace_program(assemble(src), max_steps=n))
+
+
+def test_trace_covers_whole_run():
+    records = _trace("main: li $t0, 3\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n halt\n")
+    machine = Machine(assemble("main: li $t0, 3\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n halt\n"))
+    machine.run()
+    assert len(records) == machine.instret
+
+
+def test_branch_record_fields():
+    records = _trace("main: li $t0, 1\n bgtz $t0, over\n nop\nover: halt\n")
+    branch = next(r for r in records if r.inst.is_branch)
+    assert branch.taken
+    assert branch.next_pc == branch.pc + 8  # skips one instruction
+    assert branch.rs_val == 1
+
+
+def test_not_taken_branch_fallthrough():
+    records = _trace("main: li $t0, 0\n bgtz $t0, over\n nop\nover: halt\n")
+    branch = next(r for r in records if r.inst.is_branch)
+    assert not branch.taken
+    assert branch.next_pc == branch.fallthrough_pc
+
+
+def test_load_store_records():
+    records = _trace(
+        """
+        .data
+        v: .word 17
+        .text
+        main: la $t1, v
+        lw $t0, 0($t1)
+        sw $t0, 4($t1)
+        halt
+        """
+    )
+    load = next(r for r in records if r.is_load)
+    store = next(r for r in records if r.is_store)
+    assert load.result == 17
+    assert load.mem_size == 4
+    assert store.mem_addr == load.mem_addr + 4
+    assert store.result == 17
+
+
+def test_non_memory_record_has_no_address():
+    records = _trace("main: addiu $t0, $0, 1\n halt\n")
+    assert records[0].mem_addr == -1
+    assert records[0].mem_size == 0
+
+
+def test_trace_skip():
+    src = "main: li $t0, 10\nloop: addiu $t0, $t0, -1\n bgtz $t0, loop\n halt\n"
+    full = list(trace_program(assemble(src)))
+    skipped = list(trace_program(assemble(src), skip=5))
+    assert len(skipped) == len(full) - 5
+    assert skipped[0].pc == full[5].pc
+
+
+def test_records_are_immutable():
+    records = _trace("main: nop\n halt\n")
+    import dataclasses
+
+    assert dataclasses.fields(records[0])
+    try:
+        records[0].pc = 0
+        raise AssertionError("should be frozen")
+    except dataclasses.FrozenInstanceError:
+        pass

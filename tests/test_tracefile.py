@@ -1,0 +1,70 @@
+"""Trace serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import bitslice_config
+from repro.emulator.tracefile import load_trace, pack_trace, save_trace, unpack_trace
+from repro.timing.simulator import simulate
+
+
+def test_pack_unpack_roundtrip(small_traces):
+    records = small_traces["li"][:500]
+    arrays = pack_trace(records)
+    again = unpack_trace(arrays)
+    assert len(again) == len(records)
+    for a, b in zip(records, again):
+        assert a == b
+
+
+def test_save_load_roundtrip(tmp_path, small_traces):
+    records = small_traces["bzip"][:800]
+    path = tmp_path / "trace.npz"
+    n = save_trace(path, records)
+    assert n == 800
+    again = load_trace(path)
+    assert tuple(again) == tuple(records)
+
+
+def test_loaded_trace_simulates_identically(tmp_path, small_traces):
+    """Simulation over a reloaded trace must be bit-identical."""
+    records = small_traces["vortex"][:1500]
+    path = tmp_path / "trace.npz"
+    save_trace(path, records)
+    direct = simulate(bitslice_config(2), records)
+    reloaded = simulate(bitslice_config(2), load_trace(path))
+    assert direct.ipc == reloaded.ipc
+    assert direct.cycles == reloaded.cycles
+    assert direct.branch_mispredicts == reloaded.branch_mispredicts
+
+
+def test_instruction_objects_shared(small_traces):
+    """Repeated instruction words decode to the same object (memory)."""
+    records = unpack_trace(pack_trace(small_traces["li"][:500]))
+    by_word: dict[int, object] = {}
+    from repro.isa.encoding import encode
+
+    for r in records:
+        w = encode(r.inst)
+        if w in by_word:
+            assert r.inst is by_word[w]
+        by_word[w] = r.inst
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = tmp_path / "empty.npz"
+    assert save_trace(path, []) == 0
+    assert load_trace(path) == []
+
+
+def test_version_check():
+    arrays = pack_trace([])
+    arrays["version"] = np.array([99], dtype=np.uint32)
+    with pytest.raises(ValueError):
+        unpack_trace(arrays)
+
+
+def test_mem_addr_sentinel_survives(small_traces):
+    records = unpack_trace(pack_trace(small_traces["li"][:200]))
+    non_mem = [r for r in records if not (r.is_load or r.is_store)]
+    assert non_mem and all(r.mem_addr == -1 for r in non_mem)

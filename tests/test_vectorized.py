@@ -1,0 +1,78 @@
+"""Vectorized characterization kernels: exact equivalence with scalar."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization.lsq_char import characterize_lsq
+from repro.characterization.tag_char import characterize_tags
+from repro.characterization.vectorized import (
+    characterize_lsq_fast,
+    characterize_tags_fast,
+    first_diff_bits,
+    lsd_category_curve,
+    tag_outcome_curve,
+)
+from repro.lsq.disambiguation import classify_disambiguation
+from repro.memsys.cache import CacheConfig
+from repro.memsys.partial_tag import classify_partial_tag
+
+ADDR = st.integers(0, 0xFFFFFFFF)
+
+
+@given(ADDR, st.lists(ADDR, min_size=1, max_size=10))
+def test_first_diff_bits_matches_scalar(probe, entries):
+    fdb = first_diff_bits(probe, np.asarray(entries, dtype=np.uint64))
+    for e, d in zip(entries, fdb):
+        diff = (probe ^ e) & 0xFFFFFFFC
+        expected = 32 if diff == 0 else (diff & -diff).bit_length() - 1
+        assert d == expected
+
+
+@given(ADDR, st.lists(ADDR, max_size=10))
+@settings(max_examples=200)
+def test_lsd_curve_equals_scalar_classification(load, stores):
+    curve = lsd_category_curve(load, stores)
+    for b in range(2, 32):
+        assert curve[b - 2] is classify_disambiguation(load, stores, b), b
+
+
+@given(
+    st.integers(0, 2**18 - 1),
+    st.lists(st.integers(0, 2**18 - 1), max_size=8, unique=True),
+)
+@settings(max_examples=200)
+def test_tag_curve_equals_scalar_classification(full_tag, resident):
+    curve = tag_outcome_curve(full_tag, resident, 18)
+    for b in range(1, 19):
+        assert curve[b - 1] is classify_partial_tag(full_tag, resident, b, 18), b
+
+
+def test_characterize_lsq_fast_equivalent(small_traces):
+    trace = small_traces["bzip"]
+    bits = (2, 5, 9, 15, 31)
+    slow = characterize_lsq(trace, lsq_size=32, bits=bits)
+    fast = characterize_lsq_fast(trace, lsq_size=32, bits=bits)
+    assert slow.loads == fast.loads
+    assert slow.counts == fast.counts
+
+
+def test_characterize_tags_fast_equivalent(small_traces):
+    trace = small_traces["vortex"]
+    cfg = CacheConfig(size=8 * 1024, assoc=4, line_size=32)
+    bits = (1, 3, 6, cfg.tag_bits)
+    slow = characterize_tags(trace, cfg, bits=bits, warmup=500)
+    fast = characterize_tags_fast(trace, cfg, bits=bits, warmup=500)
+    assert slow.accesses == fast.accesses
+    assert slow.counts == fast.counts
+
+
+def test_empty_store_window_curve():
+    curve = lsd_category_curve(0x1234, [])
+    assert len(curve) == 30
+    assert all(c.name == "NO_STORES" for c in curve)
+
+
+def test_empty_set_tag_curve():
+    curve = tag_outcome_curve(5, [], 18)
+    assert all(c.name == "ZERO" for c in curve)

@@ -1,0 +1,103 @@
+"""Operand-width characterization (§6 narrow-width opportunity)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.characterization.width_char import (
+    WidthCharacterization,
+    characterize_widths,
+    significant_slices,
+)
+from repro.isa.opclass import OpClass
+
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+@pytest.mark.parametrize(
+    "value,num_slices,expected",
+    [
+        (0, 2, 1),
+        (0x7FFF, 2, 1),           # zero-extended into slice 1
+        (0xFFFF_FFFF, 2, 1),      # -1: sign extension of slice 0
+        (0xFFFF_8000, 2, 1),      # sign-extended negative halfword
+        (0x0001_0000, 2, 2),
+        (0x8000, 2, 1),           # high slice all zeros: still narrow
+        (0x12, 4, 1),
+        (0x1234, 4, 2),
+        (0x0012_3456, 4, 3),
+        (0x1234_5678, 4, 4),
+        (0xFFFF_FF80, 4, 1),      # sign-extended byte
+        (5, 1, 1),
+    ],
+)
+def test_significant_slices_examples(value, num_slices, expected):
+    assert significant_slices(value, num_slices) == expected
+
+
+def test_significant_slices_validates():
+    with pytest.raises(ValueError):
+        significant_slices(0, 3)
+
+
+@given(U32, st.sampled_from([2, 4]))
+def test_significant_slices_is_sound(value, num_slices):
+    """Reconstructing from the significant slices by sign/zero
+    extension recovers the exact value."""
+    k = significant_slices(value, num_slices)
+    width = 32 // num_slices
+    bits = k * width
+    low = value & ((1 << bits) - 1)
+    zero_ext = low
+    sign_ext = (low | (0xFFFFFFFF << bits)) & 0xFFFFFFFF if (low >> (bits - 1)) & 1 else low
+    assert value in (zero_ext, sign_ext)
+
+
+@given(U32, st.sampled_from([2, 4]))
+def test_significant_slices_is_minimal(value, num_slices):
+    """No smaller slice count reconstructs the value."""
+    k = significant_slices(value, num_slices)
+    width = 32 // num_slices
+    for smaller in range(1, k):
+        bits = smaller * width
+        low = value & ((1 << bits) - 1)
+        sign_ext = (low | (0xFFFFFFFF << bits)) & 0xFFFFFFFF if (low >> (bits - 1)) & 1 else low
+        assert not (value == low or value == sign_ext)
+
+
+def test_characterize_widths(small_traces):
+    result = characterize_widths(small_traces["bzip"], num_slices=4)
+    assert result.results > 0
+    assert sum(result.histogram.values()) == result.results
+    # Fractions are cumulative in max_slices.
+    fracs = [result.narrow_fraction(k) for k in range(1, 5)]
+    assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+    assert fracs[-1] == pytest.approx(1.0)
+    # Real integer code has a substantial narrow fraction (the [3]/[6]
+    # observation the paper builds on).
+    assert result.narrow_fraction(2) > 0.25
+
+
+def test_by_class_partition(small_traces):
+    result = characterize_widths(small_traces["li"], num_slices=2)
+    assert sum(sum(c.values()) for c in result.by_class.values()) == result.results
+    assert OpClass.ARITH in result.by_class
+
+
+def test_warmup_excludes(small_traces):
+    full = characterize_widths(small_traces["li"], num_slices=2)
+    warm = characterize_widths(small_traces["li"], num_slices=2, warmup=2000)
+    assert warm.results < full.results
+
+
+def test_summary_renders(small_traces):
+    result = characterize_widths(small_traces["bzip"], num_slices=2)
+    text = result.summary()
+    assert "narrow" in text and "ARITH" in text
+
+
+def test_empty_trace():
+    result = characterize_widths([])
+    assert result.results == 0
+    assert result.narrow_fraction() == 0.0
+    assert result.class_narrow_fraction(OpClass.LOGIC) == 0.0
