@@ -16,8 +16,9 @@ import struct
 from repro.emulator.memory import SparseMemory
 from repro.emulator.syscalls import SYS_EXIT, do_syscall
 from repro.emulator.trace import TraceRecord
+from repro.harness.errors import EmulatorError, IllegalInstruction
 from repro.isa.assembler import STACK_TOP, Program
-from repro.isa.encoding import decode
+from repro.isa.encoding import EncodingError, decode
 from repro.isa.registers import FCC, FP_BASE, HI, LO, NUM_EXT_REGS
 
 _M = 0xFFFFFFFF
@@ -36,10 +37,6 @@ def bits_from_f32(value: float) -> int:
         # Magnitude beyond float32 range rounds to a signed infinity.
         inf = math.copysign(math.inf, value)
         return struct.unpack("<I", struct.pack("<f", inf))[0]
-
-
-class EmulatorError(RuntimeError):
-    """Raised on illegal execution (bad PC, unknown op, runaway loop)."""
 
 
 def to_signed(value: int) -> int:
@@ -65,7 +62,15 @@ class Machine:
         self.memory.write_block(program.data_base, bytes(program.data))
         text_bytes = b"".join(w.to_bytes(4, "little") for w in program.text)
         self.memory.write_block(program.text_base, text_bytes)
-        self.decoded = [decode(w) for w in program.text]
+        # Undecodable text words fault only if fetched, so a corrupt
+        # word in dead code cannot kill an otherwise valid image.
+        decoded = []
+        for w in program.text:
+            try:
+                decoded.append(decode(w))
+            except EncodingError:
+                decoded.append(None)
+        self.decoded = decoded
         self.regs: list[int] = [0] * NUM_EXT_REGS
         self.regs[29] = STACK_TOP  # $sp
         self.regs[28] = (program.data_base + 0x8000) & _M  # $gp convention
@@ -78,11 +83,20 @@ class Machine:
     # ------------------------------------------------------------------ fetch
 
     def fetch(self, pc: int):
-        """Return the pre-decoded instruction at *pc*."""
+        """Return the pre-decoded instruction at *pc*.
+
+        Raises:
+            IllegalInstruction: *pc* is misaligned, outside the text
+                segment, or addresses a word that does not decode.
+        """
         index = (pc - self.program.text_base) >> 2
         if pc & 3 or not 0 <= index < len(self.decoded):
-            raise EmulatorError(f"PC out of text segment: {pc:#x}")
-        return self.decoded[index]
+            raise IllegalInstruction(f"PC out of text segment: {pc:#x}")
+        inst = self.decoded[index]
+        if inst is None:
+            word = self.program.text[index]
+            raise IllegalInstruction(f"undecodable instruction word {word:#010x} at {pc:#x}")
+        return inst
 
     # ------------------------------------------------------------------- step
 
@@ -388,7 +402,7 @@ class Machine:
         elif m == "mtc1":
             regs[FP_BASE + inst.rd] = result = rt_val
         else:  # pragma: no cover - decode guarantees known mnemonics
-            raise EmulatorError(f"unimplemented mnemonic {m!r}")
+            raise IllegalInstruction(f"unimplemented mnemonic {m!r}")
 
         self.pc = next_pc & _M
         self.instret += 1
@@ -399,18 +413,40 @@ class Machine:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, max_steps: int = 10_000_000) -> int:
-        """Run until halt or *max_steps*; returns instructions retired."""
+    def run(self, max_steps: int = 10_000_000, watchdog=None) -> int:
+        """Run until halt or *max_steps*; returns instructions retired.
+
+        *max_steps* is a soft window bound (exhausting it returns, as
+        before).  An optional :class:`~repro.harness.watchdog.Watchdog`
+        enforces hard step/wall-clock budgets, raising
+        :class:`~repro.harness.errors.RunawayExecution` on breach.
+        """
         start = self.instret
+        if watchdog is None:
+            while not self.halted and self.instret - start < max_steps:
+                self.step()
+            return self.instret - start
+        watchdog.start()
         while not self.halted and self.instret - start < max_steps:
             self.step()
+            watchdog.poll(self.instret - start)
         return self.instret - start
 
-    def trace(self, max_steps: int = 10_000_000):
-        """Yield :class:`TraceRecord` for each retired instruction."""
+    def trace(self, max_steps: int = 10_000_000, watchdog=None):
+        """Yield :class:`TraceRecord` for each retired instruction.
+
+        *watchdog* has the same semantics as in :meth:`run`.
+        """
         start = self.instret
+        if watchdog is None:
+            while not self.halted and self.instret - start < max_steps:
+                yield self.step()
+            return
+        watchdog.start()
         while not self.halted and self.instret - start < max_steps:
-            yield self.step()
+            record = self.step()
+            watchdog.poll(self.instret - start)
+            yield record
 
     @property
     def stdout(self) -> str:
@@ -418,4 +454,4 @@ class Machine:
         return self.output.decode("latin-1")
 
 
-__all__ = ["EmulatorError", "Machine", "to_signed", "SYS_EXIT"]
+__all__ = ["EmulatorError", "IllegalInstruction", "Machine", "to_signed", "SYS_EXIT"]

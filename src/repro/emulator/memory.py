@@ -9,12 +9,14 @@ bugs early (the PISA model traps on unaligned accesses too).
 
 from __future__ import annotations
 
+from repro.harness.errors import MemoryFault
+
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
 
-class AlignmentError(RuntimeError):
+class AlignmentError(MemoryFault):
     """Raised on a non-naturally-aligned multi-byte access."""
 
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.harness.errors import EmulatorError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.emulator.machine import Machine
 
@@ -18,7 +20,7 @@ SYS_EXIT = 10
 SYS_PRINT_CHAR = 11
 
 
-class UnknownSyscallError(RuntimeError):
+class UnknownSyscallError(EmulatorError):
     """Raised for a service number outside the supported set."""
 
 

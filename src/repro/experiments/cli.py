@@ -8,19 +8,49 @@ Examples::
     repro-experiment fig6 --chart
     repro-experiment workloads --profile test
     repro-experiment all --output results.json
+    repro-experiment all --keep-going --timeout 120
+    repro-experiment inject --inject 200 -b li
+
+Resilience flags:
+
+* ``--keep-going`` — a failing workload becomes a ``FailureRecord`` in
+  a partial-results report (with one bounded retry at a reduced
+  instruction budget) instead of aborting the sweep; exit status 1
+  signals a partial run.
+* ``--timeout SECONDS`` — wall-clock watchdog on each benchmark's trace
+  collection.
+* ``--inject N`` — fault-injection campaign size for the ``inject``
+  experiment (seeded; reports detected/masked/silent per fault kind).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
+from dataclasses import asdict
 
 from repro.experiments import figure1, figure2, figure4, figure6, figure11, figure12, table1, workload_table
-from repro.experiments.runner import DEFAULT_INSTRUCTIONS
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    FailureRecord,
+    collect_trace,
+    collect_trace_resilient,
+    render_failure_report,
+    set_wall_timeout,
+)
 from repro.workloads import BENCHMARK_NAMES
 from repro.workloads.suite import PROFILES
 
-EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig6", "fig11", "fig12", "workloads", "all")
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig6", "fig11", "fig12", "workloads", "inject", "all")
+
+#: Default fault-campaign size (also the CI smoke-campaign size).
+DEFAULT_FAULTS = 200
+
+#: Default benchmarks for the ``inject`` experiment (kept small so a
+#: smoke campaign stays fast).
+INJECT_BENCHMARKS = ("li",)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -47,9 +77,37 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--output", "-o", default=None, metavar="FILE",
-        help="also save the experiment rows as JSON (regression baseline)",
+        help="also save the experiment rows as JSON (regression baseline; atomic write)",
+    )
+    p.add_argument(
+        "--keep-going", "-k", action="store_true",
+        help="record failing workloads and continue the sweep (partial results, exit 1)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per benchmark trace collection",
+    )
+    p.add_argument(
+        "--inject", type=int, default=None, metavar="N",
+        help=f"fault-injection campaign size for the 'inject' experiment (default {DEFAULT_FAULTS})",
+    )
+    p.add_argument(
+        "--inject-seed", type=int, default=2003, metavar="SEED",
+        help="RNG seed for the fault-injection campaign (default 2003)",
     )
     return p
+
+
+def _validate_benchmarks(names) -> str | None:
+    """Return an error message for the first unknown benchmark name."""
+    for name in names or ():
+        if name not in BENCHMARK_NAMES:
+            close = difflib.get_close_matches(name, BENCHMARK_NAMES, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            return (
+                f"unknown benchmark {name!r}{hint}; choose from {', '.join(BENCHMARK_NAMES)}"
+            )
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,11 +115,14 @@ def main(argv: list[str] | None = None) -> int:
     n = args.instructions
     prof = args.profile
     benches = tuple(args.benchmarks) if args.benchmarks else None
-    for name in benches or ():
-        if name not in BENCHMARK_NAMES:
-            print(f"unknown benchmark {name!r}; choose from {', '.join(BENCHMARK_NAMES)}", file=sys.stderr)
-            return 2
+    error = _validate_benchmarks(benches)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
 
+    set_wall_timeout(args.timeout)
+    failures: list[FailureRecord] = []
+    degraded: list[FailureRecord] = []
     produced: list[tuple[str, object]] = []
 
     def emit(name: str, result) -> None:
@@ -70,24 +131,95 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render_chart(), end="\n\n")
         produced.append((name, result))
 
+    def guarded(name: str, thunk, show: bool = True):
+        """Run one experiment; under --keep-going a crash becomes a record."""
+        if not args.keep_going:
+            result = thunk()
+            if show:
+                emit(name, result)
+            return result
+        try:
+            result = thunk()
+        except Exception as exc:
+            failures.append(
+                FailureRecord(benchmark="*", stage=name, error=type(exc).__name__, message=str(exc))
+            )
+            return None
+        if show:
+            emit(name, result)
+        return result
+
+    # Per-benchmark isolation: pre-collect each workload's trace so a
+    # broken/runaway workload is dropped (or degraded) up front instead
+    # of killing whichever experiment touches it first.
+    if args.keep_going and args.experiment not in ("fig1", "inject"):
+        target = benches or BENCHMARK_NAMES
+        surviving = []
+        for name in target:
+            trace, record = collect_trace_resilient(name, n + DEFAULT_WARMUP, profile=prof)
+            if trace is None:
+                failures.append(record)
+            else:
+                surviving.append(name)
+                if record is not None:
+                    degraded.append(record)
+        benches = tuple(surviving)
+        if not benches:
+            print(render_failure_report(failures, degraded))
+            return 1
+
     if args.experiment in ("table1", "all"):
-        emit("table1", table1.run(benches or BENCHMARK_NAMES, n, profile=prof))
+        guarded("table1", lambda: table1.run(benches or BENCHMARK_NAMES, n, profile=prof))
     if args.experiment == "fig1":
-        emit("fig1", figure1.run())
+        guarded("fig1", figure1.run)
     if args.experiment in ("fig2", "all"):
-        emit("fig2", figure2.run(benches or figure2.FIGURE2_BENCHMARKS, n, profile=prof))
+        guarded("fig2", lambda: figure2.run(benches or figure2.FIGURE2_BENCHMARKS, n, profile=prof))
     if args.experiment in ("fig4", "all"):
-        emit("fig4", figure4.run(n, profile=prof))
+        guarded("fig4", lambda: figure4.run(n, profile=prof))
     if args.experiment in ("fig6", "all"):
-        emit("fig6", figure6.run(benches or BENCHMARK_NAMES, n, profile=prof))
+        guarded("fig6", lambda: figure6.run(benches or BENCHMARK_NAMES, n, profile=prof))
     if args.experiment in ("fig11", "fig12", "all"):
-        base = figure11.run(benches or BENCHMARK_NAMES, n, profile=prof)
-        if args.experiment in ("fig11", "all"):
-            emit("fig11", base)
-        if args.experiment in ("fig12", "all"):
-            emit("fig12", figure12.run(base=base))
+        # fig12 derives from fig11's sweep; for a fig12-only run the
+        # base is computed (guarded) but not printed.
+        base = guarded(
+            "fig11",
+            lambda: figure11.run(benches or BENCHMARK_NAMES, n, profile=prof),
+            show=args.experiment in ("fig11", "all"),
+        )
+        if args.experiment in ("fig12", "all") and base is not None:
+            guarded("fig12", lambda: figure12.run(base=base))
     if args.experiment in ("workloads", "all"):
-        emit("workloads", workload_table.run(benches or BENCHMARK_NAMES, n, profile=prof))
+        guarded("workloads", lambda: workload_table.run(benches or BENCHMARK_NAMES, n, profile=prof))
+
+    campaign_failed = False
+    if args.experiment == "inject":
+        from repro.harness.faults import CampaignSuite, run_campaign
+
+        n_faults = args.inject if args.inject is not None else DEFAULT_FAULTS
+        reports = {}
+        for name in benches or INJECT_BENCHMARKS:
+            def campaign(name=name):
+                trace = collect_trace(name, n, profile=prof)
+                return run_campaign(trace, n_faults=n_faults, seed=args.inject_seed)
+
+            if args.keep_going:
+                try:
+                    reports[name] = campaign()
+                except Exception as exc:
+                    failures.append(
+                        FailureRecord(benchmark=name, stage="inject", error=type(exc).__name__, message=str(exc))
+                    )
+            else:
+                reports[name] = campaign()
+        if reports:
+            suite = CampaignSuite(reports)
+            emit("inject", suite)
+            if not suite.clean:
+                campaign_failed = True
+                print(
+                    f"fault campaign FAILED: {suite.silent_total} silent corruption(s)",
+                    file=sys.stderr,
+                )
 
     if args.output and produced:
         from repro.experiments.results_io import save_rows
@@ -95,8 +227,17 @@ def main(argv: list[str] | None = None) -> int:
         name, result = produced[-1] if len(produced) == 1 else ("all", produced[-1][1])
         # For multi-experiment runs, save the last result's rows; the
         # per-experiment form is the intended regression unit.
-        save_rows(args.output, name, result.rows(), metadata={"instructions": n, "profile": prof})
+        metadata = {"instructions": n, "profile": prof}
+        if args.keep_going:
+            metadata["failures"] = [asdict(f) for f in failures]
+            metadata["degraded"] = [asdict(d) for d in degraded]
+        save_rows(args.output, name, result.rows(), metadata=metadata)
         print(f"rows saved to {args.output}", file=sys.stderr)
+
+    if args.keep_going:
+        print(render_failure_report(failures, degraded))
+    if campaign_failed or failures:
+        return 1
     return 0
 
 

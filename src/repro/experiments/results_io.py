@@ -4,15 +4,39 @@ Every experiment result exposes ``rows()``; this module captures those
 rows (plus metadata) as JSON so runs can be archived and later runs
 diffed against a stored baseline — the regression-tracking loop for a
 simulator codebase: run, archive, change code, re-run, compare.
+
+Format version 2 adds crash-safety: :func:`save_rows` writes via a
+temp-file-then-rename so an interrupted run never clobbers a baseline
+with a half-written file, and every payload embeds a SHA-256 checksum
+that :func:`load_rows` verifies, raising
+:class:`~repro.harness.errors.ResultCorruption` on tampering or bit
+rot.  Version-1 (pre-checksum) files still load; unknown versions are
+rejected outright.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-FORMAT_VERSION = 1
+from repro.harness.errors import ResultCorruption
+
+#: Version 2 added the embedded payload checksum.
+FORMAT_VERSION = 2
+
+#: Oldest format this build still reads.
+OLDEST_SUPPORTED_VERSION = 1
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of the payload sans checksum."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def rows_to_json(experiment: str, rows, metadata: dict | None = None) -> str:
@@ -34,18 +58,61 @@ def rows_to_json(experiment: str, rows, metadata: dict | None = None) -> str:
         "metadata": metadata or {},
         "rows": [normalize(r) for r in rows],
     }
+    payload["checksum"] = _payload_checksum(payload)
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* via temp file + fsync + rename."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_rows(path: str | Path, experiment: str, rows, metadata: dict | None = None) -> None:
-    Path(path).write_text(rows_to_json(experiment, rows, metadata))
+    """Archive rows at *path* atomically (temp file + rename)."""
+    _atomic_write_text(Path(path), rows_to_json(experiment, rows, metadata))
 
 
 def load_rows(path: str | Path) -> dict:
-    """Load a result file; returns the full payload dict."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported result format {payload.get('format')}")
+    """Load a result file; returns the full payload dict.
+
+    Raises:
+        ResultCorruption: not valid JSON (e.g. a truncated legacy
+            write), an unknown format version, or a checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ResultCorruption(f"{path}: not valid JSON (truncated write?): {exc}") from None
+    fmt = payload.get("format")
+    if fmt == 1:
+        return payload  # legacy, pre-checksum
+    if fmt != FORMAT_VERSION:
+        raise ResultCorruption(
+            f"{path}: unsupported result format {fmt!r}; this build reads versions "
+            f"{OLDEST_SUPPORTED_VERSION}..{FORMAT_VERSION}"
+        )
+    stored = payload.get("checksum")
+    if not stored:
+        raise ResultCorruption(f"{path}: version-2 result file is missing its checksum")
+    actual = _payload_checksum(payload)
+    if stored != actual:
+        raise ResultCorruption(
+            f"{path}: checksum mismatch — the file was corrupted or hand-edited "
+            f"(stored {stored[:12]}…, computed {actual[:12]}…)"
+        )
     return payload
 
 

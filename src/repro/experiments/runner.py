@@ -3,14 +3,23 @@
 Emulating a workload dominates experiment wall-clock, so the dynamic
 trace (a list of immutable :class:`TraceRecord`) is collected once per
 (benchmark, length) and replayed across every machine configuration.
+
+Resilience: collection runs under an optional wall-clock watchdog
+(:func:`set_wall_timeout`), and :func:`collect_trace_resilient` turns a
+failing workload into a :class:`FailureRecord` — with one bounded retry
+at a reduced instruction budget — instead of an aborted sweep.  A
+successful retry registers a per-benchmark budget override so every
+later collection of that benchmark stays inside the budget that worked.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.config import MachineConfig
 from repro.emulator.trace import TraceRecord
+from repro.harness.watchdog import Watchdog
 from repro.timing.simulator import simulate
 from repro.timing.stats import SimStats
 from repro.workloads import get_workload
@@ -24,13 +33,49 @@ DEFAULT_INSTRUCTIONS = 30_000
 #: warm caches and predictors.
 DEFAULT_WARMUP = 10_000
 
+#: Wall-clock budget (seconds) applied to every trace collection, or
+#: ``None`` for unbounded.  Set from the CLI's ``--timeout``.
+_wall_timeout: float | None = None
+
+#: Per-benchmark instruction-budget caps registered by graceful
+#: degradation (a collection that only succeeded at a reduced budget).
+_budget_overrides: dict[str, int] = {}
+
+
+def set_wall_timeout(seconds: float | None) -> None:
+    """Set (or clear, with ``None``) the collection wall-clock budget."""
+    global _wall_timeout
+    _wall_timeout = seconds
+
+
+def wall_timeout() -> float | None:
+    """The current collection wall-clock budget."""
+    return _wall_timeout
+
+
+def set_budget_override(name: str, max_steps: int) -> None:
+    """Cap every future collection of *name* at *max_steps*."""
+    _budget_overrides[name] = max_steps
+
+
+def budget_override(name: str) -> int | None:
+    """The degraded budget registered for *name*, if any."""
+    return _budget_overrides.get(name)
+
 
 @lru_cache(maxsize=32)
 def _collect(
     name: str, max_steps: int, iters: int | None, skip: int | None, profile: str
 ) -> tuple[TraceRecord, ...]:
     workload = get_workload(name)
-    return tuple(workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile))
+    watchdog = (
+        Watchdog(max_seconds=_wall_timeout, label=f"collect[{name}]")
+        if _wall_timeout is not None
+        else None
+    )
+    return tuple(
+        workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile, watchdog=watchdog)
+    )
 
 
 def collect_trace(
@@ -43,9 +88,88 @@ def collect_trace(
     """Steady-state dynamic trace of benchmark *name* (cached).
 
     *profile* selects the input footprint (test/train/ref, the SPEC
-    input-set analogue).
+    input-set analogue).  A registered budget override (graceful
+    degradation) caps *max_steps*.
     """
+    cap = _budget_overrides.get(name)
+    if cap is not None and max_steps > cap:
+        max_steps = cap
     return _collect(name, max_steps, iters, skip, profile)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One benchmark (or experiment) failure captured during a sweep."""
+
+    benchmark: str
+    stage: str                       # "collect" or the experiment name
+    error: str                       # exception class name
+    message: str
+    retried: bool = False
+    degraded_steps: int | None = None
+
+    def describe(self) -> str:
+        note = ""
+        if self.degraded_steps is not None:
+            note = f" (degraded to {self.degraded_steps} instructions and continued)"
+        elif self.retried:
+            note = " (retry at reduced budget also failed)"
+        return f"{self.benchmark}: {self.stage} failed with {self.error}: {self.message}{note}"
+
+
+def collect_trace_resilient(
+    name: str,
+    max_steps: int = DEFAULT_INSTRUCTIONS,
+    iters: int | None = None,
+    skip: int | None = None,
+    profile: str = "ref",
+    retry_divisor: int = 4,
+    min_retry_steps: int = 1_000,
+) -> tuple[tuple[TraceRecord, ...] | None, FailureRecord | None]:
+    """Collect a trace, degrading gracefully instead of raising.
+
+    Returns ``(trace, failure)``:
+
+    * ``(trace, None)`` — clean collection;
+    * ``(trace, record)`` — first attempt failed, but one retry at
+      ``max_steps // retry_divisor`` succeeded; the reduced budget is
+      registered as this benchmark's override and *record* describes
+      the degradation;
+    * ``(None, record)`` — both attempts failed; the benchmark should
+      be dropped from the sweep.
+    """
+    try:
+        return collect_trace(name, max_steps, iters, skip, profile), None
+    except Exception as exc:
+        first = exc
+    reduced = max(min_retry_steps, max_steps // retry_divisor)
+    record = FailureRecord(
+        benchmark=name, stage="collect", error=type(first).__name__,
+        message=str(first), retried=True,
+    )
+    if reduced < max_steps:
+        try:
+            trace = collect_trace(name, reduced, iters, skip, profile)
+        except Exception:
+            return None, record
+        set_budget_override(name, reduced)
+        return trace, FailureRecord(
+            benchmark=name, stage="collect", error=type(first).__name__,
+            message=str(first), retried=True, degraded_steps=reduced,
+        )
+    return None, record
+
+
+def render_failure_report(failures, degraded=()) -> str:
+    """Human-readable partial-results report for a keep-going sweep."""
+    lines = ["=== Sweep failure report ==="]
+    if not failures and not degraded:
+        lines.append("no failures: all benchmarks completed at full budget")
+    for record in failures:
+        lines.append(f"FAILED   {record.describe()}")
+    for record in degraded:
+        lines.append(f"DEGRADED {record.describe()}")
+    return "\n".join(lines)
 
 
 def sweep_configs(
@@ -60,5 +184,6 @@ def sweep_configs(
 
 
 def clear_trace_cache() -> None:
-    """Drop cached traces (mainly for tests managing memory)."""
+    """Drop cached traces and degradation state (tests, memory)."""
     _collect.cache_clear()
+    _budget_overrides.clear()

@@ -1,0 +1,54 @@
+"""Guest self-check verification.
+
+Every workload in the suite ends with the shared reporting epilogue
+(:mod:`repro.workloads.common`): it prints ``<name>:<checksum>\\n`` and
+exits.  A run whose output does not match that contract — the guest
+never halted, printed the wrong banner, or produced a non-numeric
+checksum — indicates guest-visible corruption and raises
+:class:`~repro.harness.errors.GuestSelfCheckFailure`.
+"""
+
+from __future__ import annotations
+
+from repro.harness.errors import GuestSelfCheckFailure
+
+
+def verify_guest_output(machine, name: str, expected_checksum: int | None = None) -> int:
+    """Validate a finished workload run; returns the printed checksum.
+
+    Args:
+        machine: a (finished) :class:`~repro.emulator.machine.Machine`.
+        name: the workload's benchmark name (the expected banner).
+        expected_checksum: when given, the printed checksum must equal
+            it exactly.
+
+    Raises:
+        GuestSelfCheckFailure: the guest never halted, the banner is
+            wrong, the checksum is not an integer, or it mismatches
+            *expected_checksum*.
+    """
+    if not machine.halted:
+        raise GuestSelfCheckFailure(
+            f"{name}: guest did not halt within its budget ({machine.instret} instructions retired)"
+        )
+    out = machine.stdout
+    prefix = f"{name}:"
+    if not out.startswith(prefix):
+        raise GuestSelfCheckFailure(
+            f"{name}: self-check banner missing; guest printed {out[:60]!r}"
+        )
+    body = out[len(prefix):].strip()
+    try:
+        checksum = int(body.split()[0]) if body else int("")
+    except (ValueError, IndexError):
+        raise GuestSelfCheckFailure(
+            f"{name}: self-check checksum is not an integer: {body[:60]!r}"
+        ) from None
+    if expected_checksum is not None and checksum != expected_checksum:
+        raise GuestSelfCheckFailure(
+            f"{name}: self-check checksum mismatch: got {checksum}, expected {expected_checksum}"
+        )
+    return checksum
+
+
+__all__ = ["verify_guest_output"]

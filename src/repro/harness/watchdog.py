@@ -1,0 +1,101 @@
+"""Step-budget and wall-clock watchdogs for long-running simulations.
+
+A :class:`Watchdog` is polled from inside an execution loop (the
+emulator's interpreter, the timing simulator's record loop) and raises
+:class:`~repro.harness.errors.RunawayExecution` when either budget is
+exhausted.  The step budget is checked on every poll (one integer
+compare); the wall clock is sampled only every *check_every* polls so
+the watchdog stays out of the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.errors import RunawayExecution
+
+
+class Watchdog:
+    """A combined step-count and wall-clock budget.
+
+    Args:
+        max_steps: hard step budget; ``poll(steps)`` raises once *steps*
+            exceeds it.  ``None`` disables the step budget.
+        max_seconds: wall-clock budget measured from :meth:`start`.
+            ``None`` disables the clock budget.
+        check_every: how many polls between wall-clock samples (the
+            clock is also sampled on every argument-less ``poll()``).
+        clock: monotonic time source, injectable for tests.
+        label: context string included in the raised message.
+    """
+
+    __slots__ = ("max_steps", "max_seconds", "check_every", "label", "_clock", "_t0", "_polls")
+
+    def __init__(
+        self,
+        max_steps: int | None = None,
+        max_seconds: float | None = None,
+        check_every: int = 2048,
+        clock=time.monotonic,
+        label: str = "",
+    ) -> None:
+        if max_steps is None and max_seconds is None:
+            raise ValueError("watchdog needs a step budget, a wall-clock budget, or both")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self.check_every = check_every
+        self.label = label
+        self._clock = clock
+        self._t0: float | None = None
+        self._polls = 0
+
+    # ------------------------------------------------------------------ clock
+
+    def start(self) -> "Watchdog":
+        """Arm the wall clock if it is not already running (idempotent)."""
+        if self._t0 is None:
+            self._t0 = self._clock()
+        return self
+
+    def restart(self) -> "Watchdog":
+        """Re-arm the wall clock and reset the poll counter."""
+        self._t0 = self._clock()
+        self._polls = 0
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        return 0.0 if self._t0 is None else self._clock() - self._t0
+
+    # ------------------------------------------------------------------- poll
+
+    def poll(self, steps: int | None = None) -> None:
+        """Check the budgets; raise :class:`RunawayExecution` on breach.
+
+        *steps* is the caller's progress counter (checked against
+        ``max_steps``).  Passing ``None`` forces a wall-clock sample
+        regardless of *check_every*.
+        """
+        where = f" in {self.label}" if self.label else ""
+        if self.max_steps is not None and steps is not None and steps > self.max_steps:
+            raise RunawayExecution(
+                f"step budget exhausted{where}: {steps} steps > limit {self.max_steps}"
+            )
+        if self.max_seconds is None:
+            return
+        self._polls += 1
+        if steps is not None and self._polls % self.check_every:
+            return
+        if self._t0 is None:
+            self.start()
+            return
+        elapsed = self._clock() - self._t0
+        if elapsed > self.max_seconds:
+            raise RunawayExecution(
+                f"wall-clock budget exhausted{where}: {elapsed:.2f}s > limit {self.max_seconds:g}s"
+            )
+
+
+__all__ = ["Watchdog"]

@@ -354,6 +354,7 @@ class TimingSimulator:
         trace: Iterable[TraceRecord],
         max_instructions: int | None = None,
         warmup: int = 0,
+        watchdog=None,
     ) -> SimStats:
         """Simulate *trace* (optionally truncated) and return the stats.
 
@@ -361,16 +362,24 @@ class TimingSimulator:
         predictors and pipeline state all advance) but excluded from the
         reported counters and the IPC window — the feasible-scale
         equivalent of the paper's 1B-instruction fast-forward.
+
+        An optional :class:`~repro.harness.watchdog.Watchdog` bounds the
+        simulation with hard step/wall-clock budgets, raising
+        :class:`~repro.harness.errors.RunawayExecution` on breach.
         """
         cfg = self.config
         stats = self.stats
         S = self.num_slices
         count = 0
         warm_commit = 0
+        if watchdog is not None:
+            watchdog.start()
         for record in trace:
             if max_instructions is not None and count >= max_instructions + warmup:
                 break
             count += 1
+            if watchdog is not None:
+                watchdog.poll(count)
             if count == warmup:
                 warm_commit = self.last_commit
                 fresh = SimStats(config_name=cfg.name)
@@ -606,9 +615,10 @@ def simulate(
     trace: Iterable[TraceRecord],
     max_instructions: int | None = None,
     warmup: int = 0,
+    watchdog=None,
 ) -> SimStats:
     """Convenience wrapper: run one configuration over a trace."""
-    return TimingSimulator(config).run(trace, max_instructions, warmup=warmup)
+    return TimingSimulator(config).run(trace, max_instructions, warmup=warmup, watchdog=watchdog)
 
 
 __all__ = ["TimingSimulator", "simulate"]

@@ -68,6 +68,42 @@ class Workload:
         machine.run(max_steps)
         return machine
 
+    def run_checked(
+        self,
+        iters: int | None = None,
+        max_steps: int = 50_000_000,
+        profile: str = "ref",
+        wall_timeout: float | None = None,
+    ):
+        """Run to completion under a watchdog and verify the self-check.
+
+        Returns the finished machine.
+
+        Raises:
+            RunawayExecution: the guest did not halt within *max_steps*
+                or *wall_timeout* seconds.
+            GuestSelfCheckFailure: the guest halted without printing its
+                ``<name>:<checksum>`` banner.
+        """
+        from repro.emulator.machine import Machine
+        from repro.harness.errors import RunawayExecution
+        from repro.harness.selfcheck import verify_guest_output
+        from repro.harness.watchdog import Watchdog
+
+        machine = Machine(self.build(iters, profile))
+        watchdog = (
+            Watchdog(max_seconds=wall_timeout, label=f"run[{self.name}]")
+            if wall_timeout is not None
+            else None
+        )
+        machine.run(max_steps, watchdog=watchdog)
+        if not machine.halted:
+            raise RunawayExecution(
+                f"{self.name}: guest still running after {max_steps} instructions"
+            )
+        verify_guest_output(machine, self.name)
+        return machine
+
     @property
     def skip_hint(self) -> int:
         """Dynamic instructions spent in one-time initialization.
@@ -85,15 +121,20 @@ class Workload:
         iters: int | None = None,
         skip: int | None = None,
         profile: str = "ref",
+        watchdog=None,
     ):
-        """Steady-state trace: skips initialization by default."""
+        """Steady-state trace: skips initialization by default.
+
+        *watchdog* (a :class:`~repro.harness.watchdog.Watchdog`) bounds
+        the skip fast-forward and the traced window together.
+        """
         from repro.emulator.machine import Machine
 
         machine = Machine(self.build(iters, profile))
         if skip is None:
             skip = _skip_hint_cached(self.name, profile)
-        machine.run(skip)
-        yield from machine.trace(max_steps)
+        machine.run(skip, watchdog=watchdog)
+        yield from machine.trace(max_steps, watchdog=watchdog)
 
 
 def _divisor(profile: str) -> int:

@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.experiments.runner as runner
 from repro.experiments.cli import main
 
 
@@ -18,8 +19,79 @@ def test_fig6_via_cli(capsys):
 
 def test_unknown_benchmark_rejected(capsys):
     assert main(["table1", "-b", "crafty"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark" in err and "crafty" in err
+
+
+def test_unknown_benchmark_gets_spelling_hint(capsys):
+    assert main(["table1", "-b", "vorte"]) == 2
+    assert "did you mean 'vortex'" in capsys.readouterr().err
 
 
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["figure99"])
+
+
+def test_keep_going_isolates_failing_benchmark(tmp_path, capsys, monkeypatch):
+    """Acceptance scenario: one broken workload → partial results, exit 1."""
+    runner.clear_trace_cache()
+    real = runner.get_workload
+
+    def broken(name):
+        if name == "go":
+            raise RuntimeError("forced failure for testing")
+        return real(name)
+
+    monkeypatch.setattr(runner, "get_workload", broken)
+    out_path = tmp_path / "partial.json"
+    try:
+        rc = main(["table1", "-n", "2000", "-b", "go", "li", "--keep-going", "-o", str(out_path)])
+    finally:
+        runner.clear_trace_cache()
+    captured = capsys.readouterr()
+    assert rc == 1
+    # The healthy benchmark's table still printed.
+    assert "Table 1" in captured.out and "li" in captured.out
+    # The failure report names exactly the broken workload.
+    assert "Sweep failure report" in captured.out
+    assert "FAILED   go" in captured.out
+    assert "FAILED   li" not in captured.out
+    # Partial results were archived atomically with the failure recorded.
+    from repro.experiments.results_io import load_rows
+
+    payload = load_rows(out_path)
+    failures = payload["metadata"]["failures"]
+    assert [f["benchmark"] for f in failures] == ["go"]
+    assert failures[0]["retried"] is True
+    assert [p.name for p in tmp_path.iterdir()] == ["partial.json"]
+
+
+def test_keep_going_clean_run_reports_no_failures(capsys):
+    runner.clear_trace_cache()
+    try:
+        rc = main(["table1", "-n", "2000", "-b", "li", "--keep-going"])
+    finally:
+        runner.clear_trace_cache()
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no failures" in out
+
+
+def test_inject_experiment_reports_clean_campaign(capsys):
+    rc = main(["inject", "-n", "2000", "-b", "li", "--inject", "60"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "li" in out and "silent" in out.lower()
+
+
+def test_timeout_flag_trips_on_tiny_budget(capsys):
+    runner.clear_trace_cache()
+    try:
+        rc = main(["table1", "-n", "30000", "-b", "vortex", "--keep-going", "--timeout", "1e-9"])
+    finally:
+        runner.clear_trace_cache()
+        runner.set_wall_timeout(None)
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RunawayExecution" in out

@@ -1,0 +1,299 @@
+"""Robustness subsystem: taxonomy, watchdogs, fault injection, isolation."""
+
+import pytest
+
+from repro.emulator.machine import Machine
+from repro.emulator.memory import AlignmentError
+from repro.emulator.syscalls import UnknownSyscallError
+from repro.harness.errors import (
+    EmulatorError,
+    GuestSelfCheckFailure,
+    HarnessError,
+    IllegalInstruction,
+    MemoryFault,
+    ResultCorruption,
+    RunawayExecution,
+    TraceCorruption,
+)
+from repro.harness.faults import CampaignSuite, candidates, run_campaign
+from repro.harness.selfcheck import verify_guest_output
+from repro.harness.watchdog import Watchdog
+from repro.isa.assembler import assemble
+from repro.workloads import get_workload
+
+# ------------------------------------------------------------------ taxonomy
+
+
+def test_emulator_errors_are_harness_errors():
+    for cls in (IllegalInstruction, MemoryFault, RunawayExecution):
+        assert issubclass(cls, EmulatorError)
+    assert issubclass(EmulatorError, HarnessError)
+    assert issubclass(HarnessError, RuntimeError)
+
+
+def test_memory_and_syscall_errors_join_the_taxonomy():
+    assert issubclass(AlignmentError, MemoryFault)
+    assert issubclass(UnknownSyscallError, EmulatorError)
+
+
+def test_corruption_errors_are_also_value_errors():
+    """Pre-taxonomy callers caught ValueError; that must keep working."""
+    assert issubclass(TraceCorruption, ValueError)
+    assert issubclass(ResultCorruption, ValueError)
+    assert issubclass(TraceCorruption, HarnessError)
+
+
+# ------------------------------------------------------------------ watchdog
+
+
+def test_watchdog_requires_some_budget():
+    with pytest.raises(ValueError):
+        Watchdog()
+
+
+def test_step_budget_trips():
+    wd = Watchdog(max_steps=100)
+    wd.poll(100)  # at the limit: fine
+    with pytest.raises(RunawayExecution):
+        wd.poll(101)
+
+
+def test_wall_clock_budget_trips_with_fake_clock():
+    t = [0.0]
+    wd = Watchdog(max_seconds=1.0, check_every=1, clock=lambda: t[0]).start()
+    wd.poll(1)
+    t[0] = 2.0
+    with pytest.raises(RunawayExecution) as excinfo:
+        wd.poll(2)
+    assert "wall-clock" in str(excinfo.value)
+
+
+def test_wall_clock_sampled_only_every_check_every_polls():
+    calls = [0]
+
+    def clock():
+        calls[0] += 1
+        return 0.0
+
+    wd = Watchdog(max_seconds=10.0, check_every=100, clock=clock).start()
+    for i in range(99):
+        wd.poll(i)
+    assert calls[0] == 1  # only the start() sample
+
+
+def test_start_is_idempotent_restart_is_not():
+    t = [5.0]
+    wd = Watchdog(max_seconds=1.0, clock=lambda: t[0]).start()
+    t[0] = 7.0
+    wd.start()
+    assert wd.elapsed() == pytest.approx(2.0)
+    wd.restart()
+    assert wd.elapsed() == pytest.approx(0.0)
+
+
+def test_machine_run_raises_on_runaway_loop():
+    machine = Machine(assemble("main: b main\n"))
+    with pytest.raises(RunawayExecution):
+        machine.run(100_000, watchdog=Watchdog(max_steps=500))
+
+
+def test_machine_trace_raises_on_runaway_loop():
+    machine = Machine(assemble("main: b main\n"))
+    with pytest.raises(RunawayExecution):
+        for _ in machine.trace(100_000, watchdog=Watchdog(max_steps=200)):
+            pass
+
+
+def test_machine_run_without_watchdog_keeps_soft_budget_semantics():
+    machine = Machine(assemble("main: b main\n"))
+    assert machine.run(100) == 100 and not machine.halted
+
+
+def test_simulate_honors_watchdog(small_traces):
+    from repro.core.config import baseline_config
+    from repro.timing.simulator import simulate
+
+    trace = small_traces["li"][:1000]
+    with pytest.raises(RunawayExecution):
+        simulate(baseline_config(), trace, watchdog=Watchdog(max_steps=100))
+
+
+# ----------------------------------------------------------- fault injection
+
+
+def test_campaign_200_faults_zero_silent(small_traces):
+    trace = small_traces["li"][:2000]
+    report = run_campaign(trace, n_faults=200, seed=7)
+    assert report.total == 200
+    assert report.silent_total == 0 and report.clean
+    assert report.detected_total + report.masked_total == 200
+
+
+def test_campaign_is_deterministic(small_traces):
+    trace = small_traces["mcf"][:1500]
+    a = run_campaign(trace, n_faults=120, seed=42)
+    b = run_campaign(trace, n_faults=120, seed=42)
+    assert a.rows() == b.rows()
+    c = run_campaign(trace, n_faults=120, seed=43)
+    assert a.rows() != c.rows()  # a different seed explores differently
+
+
+def test_operand_faults_can_be_architecturally_masked():
+    """AND with zero annihilates flipped bits in the other operand."""
+    machine = Machine(
+        assemble(
+            """
+            main: li $t0, 0
+                  li $t1, 0x1234
+                  and $t2, $t1, $t0
+                  and $t3, $t1, $t0
+                  and $t4, $t1, $t0
+                  halt
+            """
+        )
+    )
+    trace = tuple(machine.trace(100))
+    report = run_campaign(trace, n_faults=60, seed=3, kinds=("operand",))
+    assert report.clean
+    assert report.stats["operand"].masked > 0
+
+
+def test_slice_and_trace_faults_always_detected(small_traces):
+    trace = small_traces["bzip"][:800]
+    report = run_campaign(trace, n_faults=100, seed=11, kinds=("slice", "trace"))
+    assert report.clean
+    assert report.masked_total == 0
+    assert report.detected_total == 100
+
+
+def test_campaign_rejects_unsliceable_trace():
+    machine = Machine(assemble("main: nop\n nop\n nop\n halt\n"))
+    trace = tuple(machine.trace(3))  # window covers only the nops
+    with pytest.raises(ValueError):
+        run_campaign(trace, n_faults=10)
+
+
+def test_candidates_cover_imm_and_reg_forms():
+    machine = Machine(
+        assemble("main: li $t0, 3\n addiu $t1, $t0, 5\n addu $t2, $t1, $t0\n andi $t3, $t2, 7\n halt\n")
+    )
+    ops = [c.op for c in candidates(tuple(machine.trace(20)))]
+    assert "add" in ops and "and" in ops
+
+
+def test_campaign_suite_aggregates(small_traces):
+    suite = CampaignSuite(
+        {
+            "li": run_campaign(small_traces["li"][:800], n_faults=40, seed=1),
+            "mcf": run_campaign(small_traces["mcf"][:800], n_faults=40, seed=1),
+        }
+    )
+    assert suite.clean
+    assert suite.silent_total == 0
+    rows = suite.rows()
+    assert any(r[0] == "li" for r in rows) and any(r[0] == "mcf" for r in rows)
+    assert "li" in suite.render() and "mcf" in suite.render()
+
+
+# ---------------------------------------------------------------- selfcheck
+
+
+def test_selfcheck_accepts_real_workload():
+    machine = get_workload("li").run_checked(iters=1)
+    assert machine.halted
+
+
+def test_selfcheck_rejects_wrong_banner():
+    machine = Machine(assemble("main: halt\n"))
+    machine.run()
+    with pytest.raises(GuestSelfCheckFailure):
+        verify_guest_output(machine, "li")
+
+
+def test_selfcheck_rejects_unfinished_guest():
+    machine = Machine(assemble("main: b main\n"))
+    machine.run(50)
+    with pytest.raises(GuestSelfCheckFailure):
+        verify_guest_output(machine, "li")
+
+
+def test_selfcheck_checksum_comparison():
+    machine = get_workload("li").run_checked(iters=1)
+    printed = verify_guest_output(machine, "li")
+    verify_guest_output(machine, "li", expected_checksum=printed)
+    with pytest.raises(GuestSelfCheckFailure):
+        verify_guest_output(machine, "li", expected_checksum=printed + 1)
+
+
+# ----------------------------------------------------- resilient collection
+
+
+def test_collect_trace_resilient_clean_path():
+    import repro.experiments.runner as runner
+
+    trace, record = runner.collect_trace_resilient("li", 1_000)
+    assert trace and record is None
+
+
+def test_collect_trace_resilient_degrades_then_drops(monkeypatch):
+    import repro.experiments.runner as runner
+
+    runner.clear_trace_cache()
+    real = runner.get_workload
+    calls = []
+
+    def flaky(name):
+        calls.append(name)
+        if name == "go":
+            raise RuntimeError("boom")
+        return real(name)
+
+    monkeypatch.setattr(runner, "get_workload", flaky)
+    try:
+        trace, record = runner.collect_trace_resilient("go", 8_000)
+        assert trace is None
+        assert record is not None
+        assert record.benchmark == "go" and record.stage == "collect"
+        assert record.error == "RuntimeError" and record.retried
+        assert len(calls) == 2  # one retry at the reduced budget
+        assert "go" in record.describe()
+    finally:
+        runner.clear_trace_cache()
+
+
+def test_collect_trace_resilient_registers_budget_override(monkeypatch):
+    import repro.experiments.runner as runner
+
+    runner.clear_trace_cache()
+    real = runner.get_workload
+    state = {"failed": False}
+
+    def once(name):
+        # Fail only the first (full-budget) attempt.
+        if not state["failed"]:
+            state["failed"] = True
+            raise RuntimeError("transient")
+        return real(name)
+
+    monkeypatch.setattr(runner, "get_workload", once)
+    try:
+        trace, record = runner.collect_trace_resilient("li", 8_000)
+        assert trace is not None
+        assert record is not None and record.degraded_steps == 2_000
+        assert runner.budget_override("li") == 2_000
+        # Later full-budget requests are capped at the degraded budget.
+        capped = runner.collect_trace("li", 8_000)
+        assert len(capped) <= 2_000
+    finally:
+        runner.clear_trace_cache()
+
+
+def test_failure_report_rendering():
+    from repro.experiments.runner import FailureRecord, render_failure_report
+
+    failed = FailureRecord("go", "collect", "RuntimeError", "boom", retried=True)
+    degraded = FailureRecord("li", "collect", "RunawayExecution", "slow", retried=True, degraded_steps=500)
+    text = render_failure_report([failed], [degraded])
+    assert "FAILED" in text and "go" in text
+    assert "DEGRADED" in text and "500" in text
+    assert "no failures" in render_failure_report([], [])

@@ -280,6 +280,45 @@ def test_pc_out_of_text_raises():
         machine.step()
 
 
+def test_pc_out_of_text_is_illegal_instruction():
+    from repro.harness.errors import IllegalInstruction
+
+    machine = Machine(assemble("main: jr $t0\n"))  # $t0 = 0
+    machine.step()
+    with pytest.raises(IllegalInstruction) as excinfo:
+        machine.step()
+    assert "out of text" in str(excinfo.value)
+
+
+def test_misaligned_pc_is_illegal_instruction():
+    from repro.harness.errors import IllegalInstruction
+
+    machine = Machine(assemble("main: li $t0, 2\n jr $t0\n nop\n"))
+    machine.step()
+    machine.step()
+    with pytest.raises(IllegalInstruction):
+        machine.step()
+
+
+def test_undecodable_word_is_illegal_instruction():
+    from repro.harness.errors import IllegalInstruction
+
+    machine = Machine(assemble("main: nop\n nop\n halt\n"))
+    machine.decoded[1] = None  # simulate a word the decoder rejected
+    machine.step()
+    with pytest.raises(IllegalInstruction) as excinfo:
+        machine.step()
+    assert "word" in str(excinfo.value)
+
+
+def test_unaligned_load_is_memory_fault():
+    from repro.harness.errors import MemoryFault
+
+    machine = Machine(assemble("main: li $t0, 2\n lw $t1, 0($t0)\n halt\n"))
+    with pytest.raises(MemoryFault):
+        machine.run()
+
+
 def test_run_respects_budget():
     machine = Machine(assemble("main: b main\n"))
     executed = machine.run(100)

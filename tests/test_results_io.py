@@ -72,6 +72,40 @@ def test_dataclass_rows(tmp_path):
     assert compare_results(payload, payload) == []
 
 
+def test_tampered_payload_fails_checksum(tmp_path):
+    from repro.harness.errors import ResultCorruption
+
+    path = tmp_path / "r.json"
+    save_rows(path, "fig", [("li", "ipc", 1.0)])
+    text = path.read_text().replace("1.0", "1.1")
+    path.write_text(text)
+    with pytest.raises(ResultCorruption) as excinfo:
+        load_rows(path)
+    assert "checksum" in str(excinfo.value)
+
+
+def test_unparseable_json_is_result_corruption(tmp_path):
+    from repro.harness.errors import ResultCorruption
+
+    path = tmp_path / "r.json"
+    save_rows(path, "fig", [("li", "ipc", 1.0)])
+    path.write_text(path.read_text()[:40])  # torn write
+    with pytest.raises(ResultCorruption):
+        load_rows(path)
+
+
+def test_legacy_v1_results_still_load(tmp_path):
+    path = tmp_path / "legacy.json"
+    path.write_text(json.dumps({"format": 1, "experiment": "fig", "metadata": {}, "rows": [["li", "ipc", 1.0]]}))
+    payload = load_rows(path)
+    assert payload["rows"] == [["li", "ipc", 1.0]]
+
+
+def test_save_rows_leaves_no_temp_files(tmp_path):
+    save_rows(tmp_path / "r.json", "fig", [("li", "ipc", 1.0)])
+    assert [p.name for p in tmp_path.iterdir()] == ["r.json"]
+
+
 def test_real_experiment_regression_flow(tmp_path):
     """The intended CI loop: archive a baseline, re-run, compare."""
     base = table1.run(("go",), instructions=2_000, warmup=500)

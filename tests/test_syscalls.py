@@ -53,3 +53,31 @@ def test_break_halts():
     machine = Machine(assemble("main: break\n nop\n"))
     machine.run()
     assert machine.halted
+
+
+def test_unknown_syscall_is_emulator_error():
+    from repro.harness.errors import EmulatorError
+
+    assert issubclass(UnknownSyscallError, EmulatorError)
+
+
+def test_exit_code_keeps_full_register_width():
+    machine = Machine(assemble("main: li $a0, -1\n li $v0, 10\n syscall\n"))
+    machine.run()
+    assert machine.halted and machine.exit_code == 0xFFFFFFFF
+
+
+def test_exit_without_code_register_defaults_to_zero():
+    machine = Machine(assemble("main: li $v0, 10\n syscall\n"))
+    machine.run()
+    assert machine.halted and machine.exit_code == 0
+
+
+def test_step_after_exit_raises_emulator_error():
+    from repro.harness.errors import EmulatorError
+
+    machine = Machine(assemble("main: li $v0, 10\n syscall\n nop\n"))
+    machine.run()
+    assert machine.halted
+    with pytest.raises(EmulatorError):
+        machine.step()

@@ -68,3 +68,87 @@ def test_mem_addr_sentinel_survives(small_traces):
     records = unpack_trace(pack_trace(small_traces["li"][:200]))
     non_mem = [r for r in records if not (r.is_load or r.is_store)]
     assert non_mem and all(r.mem_addr == -1 for r in non_mem)
+
+
+# ------------------------------------------------------- corruption defenses
+
+
+def test_future_version_names_the_refusal(small_traces):
+    from repro.harness.errors import TraceCorruption
+
+    arrays = pack_trace(small_traces["li"][:50])
+    arrays["version"] = np.array([99], dtype=np.uint32)
+    with pytest.raises(TraceCorruption) as excinfo:
+        unpack_trace(arrays)
+    assert "99" in str(excinfo.value)
+
+
+def test_flipped_payload_bit_fails_checksum(small_traces):
+    from repro.harness.errors import TraceCorruption
+
+    arrays = {k: v.copy() for k, v in pack_trace(small_traces["li"][:100]).items()}
+    arrays["result"].view(np.uint8)[17] ^= 0x10
+    with pytest.raises(TraceCorruption) as excinfo:
+        unpack_trace(arrays)
+    assert "checksum" in str(excinfo.value)
+
+
+def test_missing_field_rejected(small_traces):
+    from repro.harness.errors import TraceCorruption
+
+    arrays = dict(pack_trace(small_traces["li"][:50]))
+    del arrays["taken"]
+    with pytest.raises(TraceCorruption):
+        unpack_trace(arrays)
+
+
+def test_length_mismatch_rejected(small_traces):
+    from repro.harness.errors import TraceCorruption
+
+    arrays = {k: v.copy() for k, v in pack_trace(small_traces["li"][:50]).items()}
+    arrays["pc"] = arrays["pc"][:-1]
+    with pytest.raises(TraceCorruption):
+        unpack_trace(arrays)
+
+
+def test_truncated_file_rejected(tmp_path, small_traces):
+    from repro.harness.errors import TraceCorruption
+
+    path = tmp_path / "t.npz"
+    save_trace(path, small_traces["li"][:200])
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # simulate a torn write
+    with pytest.raises(TraceCorruption):
+        load_trace(path)
+
+
+def test_missing_file_is_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_trace(tmp_path / "absent.npz")
+
+
+def test_legacy_v1_archive_still_loads(tmp_path, small_traces):
+    """Pre-checksum archives (format 1) must stay readable."""
+    records = small_traces["li"][:100]
+    arrays = {k: v for k, v in pack_trace(records).items() if k != "checksum"}
+    arrays["version"] = np.array([1], dtype=np.uint32)
+    path = tmp_path / "legacy.npz"
+    np.savez_compressed(path, **arrays)
+    assert tuple(load_trace(path)) == tuple(records)
+
+
+def test_save_leaves_no_temp_files(tmp_path, small_traces):
+    path = tmp_path / "trace.npz"
+    save_trace(path, small_traces["li"][:100])
+    assert [p.name for p in tmp_path.iterdir()] == ["trace.npz"]
+
+
+def test_failed_save_does_not_clobber_existing(tmp_path, small_traces):
+    """Atomic replace: the old archive survives a failed rewrite."""
+    path = tmp_path / "trace.npz"
+    save_trace(path, small_traces["li"][:100])
+    before = path.read_bytes()
+    with pytest.raises(AttributeError):
+        save_trace(path, [object()])  # not TraceRecords: packing explodes
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["trace.npz"]
