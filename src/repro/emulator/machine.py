@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import struct
+import time
 
 from repro.emulator.memory import SparseMemory
 from repro.emulator.syscalls import SYS_EXIT, do_syscall
@@ -413,14 +414,22 @@ class Machine:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, max_steps: int = 10_000_000, watchdog=None) -> int:
+    def run(self, max_steps: int = 10_000_000, watchdog=None, profiler=None) -> int:
         """Run until halt or *max_steps*; returns instructions retired.
 
         *max_steps* is a soft window bound (exhausting it returns, as
         before).  An optional :class:`~repro.harness.watchdog.Watchdog`
         enforces hard step/wall-clock budgets, raising
-        :class:`~repro.harness.errors.RunawayExecution` on breach.
+        :class:`~repro.harness.errors.RunawayExecution` on breach.  An
+        optional :class:`~repro.obs.profiler.PhaseProfiler` records the
+        run's wall time and emulated-instructions-per-second throughput
+        under the ``emulate.run`` phase.
         """
+        if profiler is not None:
+            with profiler.phase("emulate.run") as ph:
+                retired = self.run(max_steps, watchdog=watchdog)
+                ph.add_items(retired)
+            return retired
         start = self.instret
         if watchdog is None:
             while not self.halted and self.instret - start < max_steps:
@@ -432,12 +441,24 @@ class Machine:
             watchdog.poll(self.instret - start)
         return self.instret - start
 
-    def trace(self, max_steps: int = 10_000_000, watchdog=None):
+    def trace(self, max_steps: int = 10_000_000, watchdog=None, profiler=None):
         """Yield :class:`TraceRecord` for each retired instruction.
 
-        *watchdog* has the same semantics as in :meth:`run`.
+        *watchdog* has the same semantics as in :meth:`run`.  An
+        optional :class:`~repro.obs.profiler.PhaseProfiler` accumulates
+        wall time and throughput under ``emulate.trace`` when the
+        generator finishes (or is closed).
         """
         start = self.instret
+        if profiler is not None:
+            t0 = time.perf_counter()
+            try:
+                yield from self.trace(max_steps, watchdog=watchdog)
+            finally:
+                profiler.add(
+                    "emulate.trace", time.perf_counter() - t0, items=self.instret - start
+                )
+            return
         if watchdog is None:
             while not self.halted and self.instret - start < max_steps:
                 yield self.step()

@@ -60,6 +60,29 @@ def speedup_summary(baseline: dict[str, float], improved: dict[str, float]) -> d
     return ratios
 
 
+def merge_stats(runs) -> "object":
+    """Pool several :class:`~repro.timing.stats.SimStats` into one.
+
+    Counters (and every ``extra`` entry) sum; derived rates recompute
+    from the pooled counters — the instruction-weighted aggregate.
+    Delegates to :meth:`SimStats.merge` so this module never reaches
+    into individual fields.
+    """
+    from repro.timing.stats import SimStats
+
+    return SimStats.merge_all(runs)
+
+
+def stats_rows(runs) -> list[dict]:
+    """Uniform machine-readable rows for a list of stats.
+
+    Each row is the stats' :meth:`~repro.timing.stats.SimStats.to_dict`
+    — counters, the ``extra`` dict and the derived rates — so reporting
+    and archiving code consumes one schema instead of ad-hoc fields.
+    """
+    return [stats.to_dict() for stats in runs]
+
+
 def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:
     """Student-t confidence interval for the mean of *values*."""
     from scipy import stats as sps

@@ -6,10 +6,11 @@ Examples::
     repro-experiment fig2 --benchmarks bzip gcc
     repro-experiment fig11 --instructions 50000 --benchmarks li mcf
     repro-experiment fig6 --chart
-    repro-experiment workloads --profile test
+    repro-experiment workloads --input-profile test
     repro-experiment all --output results.json
     repro-experiment all --keep-going --timeout 120
     repro-experiment inject --inject 200 -b li
+    repro-experiment fig11 -b li --metrics-out m.json --trace-events t.jsonl --profile
 
 Resilience flags:
 
@@ -21,6 +22,18 @@ Resilience flags:
   collection.
 * ``--inject N`` — fault-injection campaign size for the ``inject``
   experiment (seeded; reports detected/masked/silent per fault kind).
+
+Observability flags (see ``docs/observability.md``):
+
+* ``--metrics-out FILE`` — dump the run's metrics registry (with a
+  provenance manifest: config, seed, git SHA, package versions);
+* ``--trace-events FILE`` — cycle-event JSONL plus a Perfetto-loadable
+  Chrome trace sibling;
+* ``--profile`` — top-N hottest phases with host inst/s throughput;
+* ``--heartbeat SECONDS`` — periodic progress line for long sweeps.
+
+Any of these also writes a ``BENCH_<run>.json`` perf snapshot (IPC,
+host throughput, wall time per benchmark) into ``--bench-dir``.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ import argparse
 import difflib
 import sys
 from dataclasses import asdict
+from pathlib import Path
 
 from repro.experiments import figure1, figure2, figure4, figure6, figure11, figure12, table1, workload_table
 from repro.experiments.runner import (
@@ -68,7 +82,7 @@ def _parser() -> argparse.ArgumentParser:
         help=f"benchmark subset (default: experiment-specific; all = {' '.join(BENCHMARK_NAMES)})",
     )
     p.add_argument(
-        "--profile", "-p", choices=sorted(PROFILES), default="ref",
+        "--input-profile", "-p", dest="profile_input", choices=sorted(PROFILES), default="ref",
         help="input footprint profile (SPEC test/train/ref analogue; default ref)",
     )
     p.add_argument(
@@ -95,6 +109,32 @@ def _parser() -> argparse.ArgumentParser:
         "--inject-seed", type=int, default=2003, metavar="SEED",
         help="RNG seed for the fault-injection campaign (default 2003)",
     )
+    obs = p.add_argument_group("observability (docs/observability.md)")
+    obs.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics registry (+ provenance manifest) as JSON",
+    )
+    obs.add_argument(
+        "--trace-events", default=None, metavar="FILE",
+        help="write cycle events as JSONL, plus a Perfetto-loadable "
+             "<FILE-stem>.perfetto.json Chrome trace",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="print the top-N hottest simulation phases (wall time + inst/s)",
+    )
+    obs.add_argument(
+        "--profile-top", type=int, default=10, metavar="N",
+        help="phases shown by --profile (default 10)",
+    )
+    obs.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="print a progress line at most every SECONDS during long sweeps",
+    )
+    obs.add_argument(
+        "--bench-dir", default=".benchmarks", metavar="DIR",
+        help="directory for BENCH_<run>.json perf snapshots (default .benchmarks)",
+    )
     return p
 
 
@@ -113,7 +153,7 @@ def _validate_benchmarks(names) -> str | None:
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     n = args.instructions
-    prof = args.profile
+    prof = args.profile_input
     benches = tuple(args.benchmarks) if args.benchmarks else None
     error = _validate_benchmarks(benches)
     if error:
@@ -121,6 +161,75 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     set_wall_timeout(args.timeout)
+    obs_on = bool(
+        args.metrics_out or args.trace_events or args.profile or args.heartbeat is not None
+    )
+    if obs_on:
+        from repro.obs.session import start_session
+
+        start_session(
+            trace_events=bool(args.trace_events),
+            heartbeat_interval=args.heartbeat,
+        )
+    try:
+        return _run_experiments(args, n, prof, benches, argv)
+    finally:
+        if obs_on:
+            from repro.obs.session import end_session
+
+            session = end_session()
+            try:
+                _write_obs_outputs(args, session, argv)
+            except Exception as exc:  # never mask the experiment's own status
+                print(f"observability output failed: {exc}", file=sys.stderr)
+
+
+def _write_obs_outputs(args, session, argv) -> None:
+    """Flush the session's telemetry: profile report, metrics dump,
+    event trace (JSONL + Perfetto), and the BENCH_<run> perf snapshot."""
+    import time
+
+    from repro.harness.atomicio import atomic_write_text
+    from repro.obs.manifest import build_manifest, write_bench_snapshot
+
+    manifest = build_manifest(
+        config={
+            "experiment": args.experiment,
+            "instructions": args.instructions,
+            "input_profile": args.profile_input,
+            "benchmarks": list(args.benchmarks or ()),
+            "keep_going": args.keep_going,
+        },
+        seed=args.inject_seed,
+        argv=list(argv) if argv is not None else None,
+    )
+    if args.profile:
+        print(session.profiler.report(args.profile_top))
+    registry = session.finalize_registry()
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(out, registry.to_json(manifest))
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_events:
+        from repro.obs.events import write_chrome_trace, write_jsonl
+
+        Path(args.trace_events).parent.mkdir(parents=True, exist_ok=True)
+        n_events = write_jsonl(session.events, args.trace_events)
+        perfetto = Path(args.trace_events).with_suffix(".perfetto.json")
+        write_chrome_trace(session.events, perfetto)
+        print(
+            f"{n_events} cycle events written to {args.trace_events} "
+            f"(Perfetto view: {perfetto})",
+            file=sys.stderr,
+        )
+    if session.runs:
+        run_id = f"{args.experiment}-{time.strftime('%Y%m%dT%H%M%SZ', time.gmtime())}"
+        path = write_bench_snapshot(args.bench_dir, run_id, session.bench_records(), manifest)
+        print(f"perf snapshot written to {path}", file=sys.stderr)
+
+
+def _run_experiments(args, n, prof, benches, argv) -> int:
     failures: list[FailureRecord] = []
     degraded: list[FailureRecord] = []
     produced: list[tuple[str, object]] = []

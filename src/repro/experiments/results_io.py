@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.harness.atomicio import atomic_write_text as _atomic_write_text
 from repro.harness.errors import ResultCorruption
 
 #: Version 2 added the embedded payload checksum.
@@ -60,23 +59,6 @@ def rows_to_json(experiment: str, rows, metadata: dict | None = None) -> str:
     }
     payload["checksum"] = _payload_checksum(payload)
     return json.dumps(payload, indent=2, sort_keys=True)
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* via temp file + fsync + rename."""
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 def save_rows(path: str | Path, experiment: str, rows, metadata: dict | None = None) -> None:

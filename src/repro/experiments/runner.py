@@ -14,12 +14,14 @@ later collection of that benchmark stays inside the budget that worked.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.config import MachineConfig
 from repro.emulator.trace import TraceRecord
 from repro.harness.watchdog import Watchdog
+from repro.obs.session import active_session
 from repro.timing.simulator import simulate
 from repro.timing.stats import SimStats
 from repro.workloads import get_workload
@@ -73,9 +75,14 @@ def _collect(
         if _wall_timeout is not None
         else None
     )
-    return tuple(
+    t0 = time.perf_counter()
+    trace = tuple(
         workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile, watchdog=watchdog)
     )
+    session = active_session()
+    if session is not None:
+        session.note_collection(name, len(trace), time.perf_counter() - t0)
+    return trace
 
 
 def collect_trace(
@@ -94,6 +101,11 @@ def collect_trace(
     cap = _budget_overrides.get(name)
     if cap is not None and max_steps > cap:
         max_steps = cap
+    session = active_session()
+    if session is not None:
+        # Keep the benchmark context current even when the trace is a
+        # cache hit, so subsequent simulate() runs attribute correctly.
+        session.current_benchmark = name
     return _collect(name, max_steps, iters, skip, profile)
 
 

@@ -1,0 +1,42 @@
+"""Crash-safe file writes shared by results and observability IO.
+
+One primitive: write to a temp file in the destination directory,
+fsync, then ``os.replace`` — so readers never observe a half-written
+artifact and an interrupted run never clobbers a good one.  Extracted
+from :mod:`repro.experiments.results_io` so the observability layer
+(metrics dumps, run manifests, perf snapshots) gets the same guarantee
+without depending on the experiments package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* via temp file + fsync + rename."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Path, payload: dict, indent: int = 2) -> None:
+    """Serialize *payload* deterministically and write it atomically."""
+    atomic_write_text(Path(path), json.dumps(payload, indent=indent, sort_keys=True))
+
+
+__all__ = ["atomic_write_json", "atomic_write_text"]

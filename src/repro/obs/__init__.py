@@ -1,0 +1,68 @@
+"""Observability layer: metrics, cycle-event tracing, profiling, provenance.
+
+The paper's claims are measurements; this package makes every run of
+the reproduction produce structured, diffable, provenance-stamped
+telemetry (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — hierarchical metrics registry (counters,
+  gauges, log2 histograms, timers) addressed by dotted name;
+* :mod:`repro.obs.events` — bounded ring buffer of typed cycle events
+  with JSONL and Chrome/Perfetto trace export;
+* :mod:`repro.obs.profiler` — per-phase wall time and host-side
+  instructions-per-second throughput;
+* :mod:`repro.obs.manifest` — run manifests (config, seed, git SHA,
+  package versions) and ``BENCH_<run>.json`` perf snapshots;
+* :mod:`repro.obs.session` — the per-driver-run aggregate the CLI's
+  ``--metrics-out`` / ``--trace-events`` / ``--profile`` flags activate.
+"""
+
+from repro.obs.events import (
+    CycleEvent,
+    EventTrace,
+    validate_event,
+    validate_jsonl_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    load_bench_snapshot,
+    validate_bench_snapshot,
+    validate_manifest,
+    write_bench_snapshot,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    validate_metrics_dump,
+)
+from repro.obs.session import ObsSession, active_session, end_session, start_session
+
+__all__ = [
+    "Counter",
+    "CycleEvent",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "PhaseProfiler",
+    "Timer",
+    "active_session",
+    "build_manifest",
+    "end_session",
+    "load_bench_snapshot",
+    "start_session",
+    "validate_bench_snapshot",
+    "validate_event",
+    "validate_jsonl_file",
+    "validate_manifest",
+    "validate_metrics_dump",
+    "write_bench_snapshot",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,119 @@
+"""Phase profiling: per-phase wall time and throughput.
+
+A :class:`PhaseProfiler` accumulates wall-clock seconds per named phase
+(``collect.li``, ``simulate.bitslice-2``) plus an optional *items*
+count (emulated or simulated instructions) from which it derives
+throughput — the host-side instructions-per-second number the ROADMAP's
+"fast as the hardware allows" goal is measured by.  The ``--profile``
+CLI flag prints :meth:`report`: the top-N hottest phases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated cost of one phase."""
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+    items: int = 0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "items": self.items,
+            "items_per_second": self.items_per_second,
+        }
+
+
+class _PhaseContext:
+    """Context manager for one timed phase invocation."""
+
+    __slots__ = ("_profiler", "_name", "_items", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._items = 0
+        self._t0 = 0.0
+
+    def add_items(self, n: int) -> None:
+        """Attribute *n* processed items (instructions) to this phase."""
+        self._items += n
+
+    def __enter__(self) -> "_PhaseContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler.add(self._name, time.perf_counter() - self._t0, items=self._items)
+
+
+class PhaseProfiler:
+    """Accumulates wall time and item throughput per named phase."""
+
+    def __init__(self) -> None:
+        self.phases: dict[str, PhaseStat] = {}
+        self.started_at = time.perf_counter()
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Time a block::
+
+            with profiler.phase("simulate.li") as ph:
+                stats = simulate(...)
+                ph.add_items(stats.instructions)
+        """
+        return _PhaseContext(self, name)
+
+    def add(self, name: str, seconds: float, items: int = 0, calls: int = 1) -> None:
+        stat = self.phases.get(name)
+        if stat is None:
+            stat = self.phases[name] = PhaseStat(name)
+        stat.seconds += seconds
+        stat.calls += calls
+        stat.items += items
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.phases.values())
+
+    def hottest(self, top_n: int = 10) -> list[PhaseStat]:
+        return sorted(self.phases.values(), key=lambda s: s.seconds, reverse=True)[:top_n]
+
+    def report(self, top_n: int = 10) -> str:
+        """Human-readable top-N phase table."""
+        if not self.phases:
+            return "(no profiled phases)"
+        total = self.total_seconds or 1e-12
+        lines = [f"=== Profile: top {min(top_n, len(self.phases))} of {len(self.phases)} phases ==="]
+        lines.append(f"{'phase':<32} {'seconds':>9} {'share':>7} {'calls':>7} {'items/s':>12}")
+        for s in self.hottest(top_n):
+            rate = f"{s.items_per_second:,.0f}" if s.items else "-"
+            lines.append(
+                f"{s.name:<32} {s.seconds:>9.3f} {s.seconds / total:>6.1%} {s.calls:>7} {rate:>12}"
+            )
+        lines.append(f"{'total':<32} {total:>9.3f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {name: s.to_dict() for name, s in sorted(self.phases.items())}
+
+    def publish(self, registry) -> None:
+        """Mirror every phase into a metrics registry (``profile.*``)."""
+        for name, s in self.phases.items():
+            registry.timer(f"profile.{name}.wall", help="phase wall time").add(s.seconds, s.calls)
+            if s.items:
+                registry.counter(f"profile.{name}.items", help="items processed").inc(s.items)
+
+
+__all__ = ["PhaseProfiler", "PhaseStat"]

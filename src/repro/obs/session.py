@@ -1,0 +1,175 @@
+"""Per-run observability session.
+
+One :class:`ObsSession` ties the metrics registry, the cycle-event
+trace, and the phase profiler to a single driver invocation, and
+collects the per-run records behind the ``BENCH_<run>.json`` perf
+snapshot.  The session is process-global (like the runner's wall-clock
+budget) so instrumentation points deep in the stack — ``simulate()``,
+trace collection — can report without threading a handle through every
+experiment signature; when no session is active every hook is a single
+``None`` check, keeping the uninstrumented hot path unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.obs.events import DEFAULT_CAPACITY, EventTrace
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One timing-simulation run observed by the session."""
+
+    benchmark: str
+    config: str
+    instructions: int
+    cycles: int
+    ipc: float
+    wall_seconds: float
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.instructions / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class ObsSession:
+    """Holds the observability state for one driver run."""
+
+    def __init__(
+        self,
+        trace_events: bool = False,
+        events_capacity: int | None = DEFAULT_CAPACITY,
+        heartbeat_interval: float | None = None,
+        stream=None,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.profiler = PhaseProfiler()
+        self.events = EventTrace(events_capacity) if trace_events else None
+        self.heartbeat_interval = heartbeat_interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.runs: list[RunRecord] = []
+        self.current_benchmark: str | None = None
+        self.collections = 0
+        self._t0 = time.monotonic()
+        self._last_beat = self._t0
+
+    # ------------------------------------------------------------- hooks
+
+    def note_collection(self, benchmark: str, records: int, seconds: float) -> None:
+        """Called after one emulator trace collection."""
+        self.current_benchmark = benchmark
+        self.collections += 1
+        self.profiler.add(f"collect.{benchmark}", seconds, items=records)
+        self.registry.counter("emulate.instructions", help="emulated trace records").inc(records)
+        self.registry.counter("emulate.collections", help="trace collections").inc()
+        self.registry.timer("emulate.wall", help="emulator wall time").add(seconds)
+        self.heartbeat(f"collect.{benchmark}")
+
+    def record_run(self, stats, wall_seconds: float) -> None:
+        """Called after one ``simulate()``; *stats* is a ``SimStats``."""
+        benchmark = self.current_benchmark or "?"
+        self.runs.append(
+            RunRecord(
+                benchmark=benchmark,
+                config=stats.config_name,
+                instructions=stats.instructions,
+                cycles=stats.cycles,
+                ipc=stats.ipc,
+                wall_seconds=wall_seconds,
+            )
+        )
+        self.profiler.add(
+            f"simulate.{benchmark}", wall_seconds, items=stats.instructions
+        )
+        stats.publish(self.registry)
+        self.registry.counter("sim.runs", help="timing simulations").inc()
+        self.registry.timer("sim.wall", help="simulator wall time").add(wall_seconds)
+        self.registry.histogram(
+            "sim.run_instructions", help="instructions per simulation run"
+        ).observe(stats.instructions)
+        self.heartbeat(f"simulate.{benchmark}/{stats.config_name}")
+
+    def heartbeat(self, last: str = "") -> None:
+        """Print a progress line if the heartbeat interval elapsed."""
+        if self.heartbeat_interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_beat < self.heartbeat_interval:
+            return
+        self._last_beat = now
+        elapsed = now - self._t0
+        print(
+            f"[obs] {elapsed:.1f}s elapsed — {self.collections} collections, "
+            f"{len(self.runs)} simulations{f', last {last}' if last else ''}",
+            file=self.stream,
+            flush=True,
+        )
+
+    # ------------------------------------------------------------ exports
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    def bench_records(self) -> dict[str, dict]:
+        """Per-benchmark perf records for :func:`write_bench_snapshot`."""
+        out: dict[str, dict] = {}
+        for run in self.runs:
+            rec = out.setdefault(
+                run.benchmark,
+                {"ipc": {}, "wall_seconds": 0.0, "instructions": 0, "runs": 0},
+            )
+            rec["ipc"][run.config] = run.ipc
+            rec["wall_seconds"] += run.wall_seconds
+            rec["instructions"] += run.instructions
+            rec["runs"] += 1
+        for name, rec in out.items():
+            collect = self.profiler.phases.get(f"collect.{name}")
+            rec["emulate_seconds"] = collect.seconds if collect else 0.0
+            rec["instructions_per_second"] = (
+                rec["instructions"] / rec["wall_seconds"] if rec["wall_seconds"] > 0 else 0.0
+            )
+        return out
+
+    def finalize_registry(self) -> MetricsRegistry:
+        """Fold profiler phases into the registry and return it."""
+        self.profiler.publish(self.registry)
+        self.registry.gauge("obs.elapsed_seconds", help="session wall time").set(self.elapsed)
+        if self.events is not None:
+            self.registry.counter("obs.events.emitted", help="cycle events emitted").inc(
+                self.events.emitted
+            )
+            self.registry.counter("obs.events.dropped", help="events evicted by ring bound").inc(
+                self.events.dropped
+            )
+        return self.registry
+
+
+_active: ObsSession | None = None
+
+
+def start_session(**kwargs) -> ObsSession:
+    """Activate a new global session (replacing any existing one)."""
+    global _active
+    _active = ObsSession(**kwargs)
+    return _active
+
+
+def end_session() -> ObsSession | None:
+    """Deactivate and return the current session."""
+    global _active
+    session, _active = _active, None
+    return session
+
+
+def active_session() -> ObsSession | None:
+    """The current session, or ``None`` when observability is off."""
+    return _active
+
+
+__all__ = ["ObsSession", "RunRecord", "active_session", "end_session", "start_session"]

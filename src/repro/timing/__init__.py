@@ -8,7 +8,16 @@ known deltas (wrong-path instructions are charged as redirect latency,
 not simulated).
 """
 
+from repro.timing.pipeview import events_to_timeline, render_events, render_timeline
 from repro.timing.simulator import TimingSimulator, simulate
-from repro.timing.stats import SimStats
+from repro.timing.stats import METRIC_CATALOG, SimStats
 
-__all__ = ["SimStats", "TimingSimulator", "simulate"]
+__all__ = [
+    "METRIC_CATALOG",
+    "SimStats",
+    "TimingSimulator",
+    "events_to_timeline",
+    "render_events",
+    "render_timeline",
+    "simulate",
+]

@@ -22,6 +22,7 @@ are all modeled.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Iterable
 
@@ -34,6 +35,16 @@ from repro.isa.opclass import OpClass, op_class
 from repro.isa.registers import HI, LO, NUM_EXT_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.partial_tag import partial_tag_lookup
+from repro.obs.events import (
+    COMMIT,
+    DISPATCH,
+    EARLY_RELEASE,
+    FETCH,
+    REPLAY,
+    SLICE_COMPLETE,
+    WAY_MISPREDICT,
+    EventTrace,
+)
 from repro.timing.resources import BandwidthPool, ExclusiveUnit
 from repro.timing.stats import SimStats
 
@@ -57,13 +68,26 @@ class _StoreEntry:
 class TimingSimulator:
     """Timestamp simulator for one :class:`MachineConfig`."""
 
-    def __init__(self, config: MachineConfig, record_timeline: bool = False) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        record_timeline: bool = False,
+        events: EventTrace | None = None,
+    ) -> None:
         self.config = config
         self.stats = SimStats(config_name=config.name)
-        #: Per-instruction pipeline timestamps (see
-        #: :mod:`repro.timing.pipeview`), populated when
-        #: *record_timeline* is set.
-        self.timeline: list | None = [] if record_timeline else None
+        #: Typed cycle-event stream (:mod:`repro.obs.events`).  The
+        #: pipeline timeline, the JSONL export and the Perfetto trace
+        #: are all views over this one stream.  *record_timeline*
+        #: captures every instruction (unbounded, with disassembled
+        #: labels); an explicit *events* ring buffer bounds memory for
+        #: long sweeps.
+        self._record_timeline = record_timeline
+        if events is None and record_timeline:
+            events = EventTrace(capacity=None)
+        self.events = events
+        self._emit_text = record_timeline
+        self._timeline_cache: tuple[int, list] | None = None
         self.predictor = FrontEndPredictor(
             config.gshare_entries, config.btb_entries, config.btb_assoc, config.ras_depth
         )
@@ -113,6 +137,18 @@ class TimingSimulator:
         tag_shift = self.hierarchy.l1d.config.tag_shift
         self.index_ready_slice = (tag_shift + self.slice_bits - 1) // self.slice_bits - 1
         self.first_commit = None
+
+    @property
+    def timeline(self):
+        """Per-instruction pipeline timestamps, reconstructed from the
+        cycle-event stream (``None`` unless *record_timeline* was set)."""
+        if not self._record_timeline:
+            return None
+        from repro.timing.pipeview import events_to_timeline
+
+        if self._timeline_cache is None or self._timeline_cache[0] != self.events.emitted:
+            self._timeline_cache = (self.events.emitted, events_to_timeline(self.events))
+        return self._timeline_cache[1]
 
     # ------------------------------------------------------------------ fetch
 
@@ -226,7 +262,7 @@ class TimingSimulator:
 
     # ----------------------------------------------------------------- loads
 
-    def _lsd_release(self, load_agen: tuple[int, ...], load_addr: int, dispatch: int):
+    def _lsd_release(self, load_agen: tuple[int, ...], load_addr: int, dispatch: int, pc: int = 0):
         """When the load may access memory, and any forwarding store.
 
         Returns ``(release_cycle, forward_store_or_None, relevant_stores)``.
@@ -259,8 +295,12 @@ class TimingSimulator:
                 early_helped = True
             if t > release:
                 release = t
-        if release < full:
-            self.stats.lsd_early_releases += 1 if early_helped else 0
+        if release < full and early_helped:
+            self.stats.lsd_early_releases += 1
+            if self.events is not None:
+                self.events.emit(
+                    EARLY_RELEASE, release, self.seq, pc, {"full_release": full}
+                )
         return release, None, relevant
 
     def _load_data_ready(self, record: TraceRecord, agen: tuple[int, ...], dispatch: int) -> int:
@@ -269,7 +309,7 @@ class TimingSimulator:
         stats = self.stats
         addr = record.mem_addr
         a_full = agen[-1]
-        release, forward, relevant = self._lsd_release(agen, addr, dispatch)
+        release, forward, relevant = self._lsd_release(agen, addr, dispatch, record.pc)
         if forward is not None:
             stats.store_forwards += 1
             if self.spec_forward:
@@ -302,6 +342,10 @@ class TimingSimulator:
                     stats.extra.get("spec_forward_mispredicts", 0) + 1
                 )
                 release = max(release, a_full) + cfg.replay_penalty
+                if self.events is not None:
+                    self.events.emit(
+                        REPLAY, release, self.seq, record.pc, {"reason": "spec_forward"}
+                    )
 
         if self.ptm:
             # Access may begin once the index bits exist (first agen
@@ -325,9 +369,22 @@ class TimingSimulator:
                 # Way mispredicted: verified against the full tag, the
                 # access repeats and mis-scheduled consumers replay.
                 stats.ptm_way_mispredicts += 1
+                if self.events is not None:
+                    self.events.emit(
+                        WAY_MISPREDICT,
+                        access_start + cfg.l1_latency,
+                        self.seq,
+                        record.pc,
+                        {"addr": addr},
+                    )
                 return max(a_full, access_start + cfg.l1_latency) + cfg.l1_latency + cfg.replay_penalty
             stats.l1d_misses += 1
             stats.load_replays += 1
+            if self.events is not None:
+                self.events.emit(
+                    REPLAY, access_start + result.latency, self.seq, record.pc,
+                    {"reason": "l1d_miss"},
+                )
             if outcome.name == "ZERO":
                 # Miss known early and non-speculatively: the L2 access
                 # overlaps the rest of address generation.
@@ -345,6 +402,11 @@ class TimingSimulator:
             return access_start + result.latency
         stats.l1d_misses += 1
         stats.load_replays += 1
+        if self.events is not None:
+            self.events.emit(
+                REPLAY, access_start + result.latency, self.seq, record.pc,
+                {"reason": "l1d_miss"},
+            )
         return access_start + result.latency + cfg.replay_penalty
 
     # ------------------------------------------------------------------ main
@@ -370,6 +432,7 @@ class TimingSimulator:
         cfg = self.config
         stats = self.stats
         S = self.num_slices
+        ev = self.events  # hoisted: None when observability is off
         count = 0
         warm_commit = 0
         if watchdog is not None:
@@ -523,26 +586,24 @@ class TimingSimulator:
                 if len(self.store_window) > cfg.lsq_size:
                     self.store_window.popleft()
 
-            if self.timeline is not None:
-                from repro.isa.disassembler import format_instruction
-                from repro.timing.pipeview import TimelineEvent
+            if ev is not None:
+                pc = record.pc
+                seq = self.seq
+                fetch_args: dict = {"mnemonic": m}
+                if self._emit_text:
+                    from repro.isa.disassembler import format_instruction
 
-                slice_times = (
-                    tuple(result_times) if isinstance(result_times, list) else (complete,)
-                )
-                self.timeline.append(
-                    TimelineEvent(
-                        seq=self.seq,
-                        pc=record.pc,
-                        mnemonic=m,
-                        text=format_instruction(inst, pc=record.pc),
-                        fetch=F,
-                        dispatch=dispatch,
-                        slice_completions=slice_times,
-                        complete=complete,
-                        commit=commit,
-                        mispredicted=mispredicted,
-                    )
+                    fetch_args["text"] = format_instruction(inst, pc=pc)
+                ev.emit(FETCH, F, seq, pc, fetch_args)
+                ev.emit(DISPATCH, dispatch, seq, pc)
+                if isinstance(result_times, list):
+                    for k, t in enumerate(result_times):
+                        ev.emit(SLICE_COMPLETE, t, seq, pc, {"slice": k})
+                else:
+                    ev.emit(SLICE_COMPLETE, complete, seq, pc, {"slice": 0})
+                ev.emit(
+                    COMMIT, commit, seq, pc,
+                    {"complete": complete, "mispredicted": mispredicted},
                 )
 
         stats.instructions = max(0, count - warmup)
@@ -616,9 +677,31 @@ def simulate(
     max_instructions: int | None = None,
     warmup: int = 0,
     watchdog=None,
+    events: EventTrace | None = None,
 ) -> SimStats:
-    """Convenience wrapper: run one configuration over a trace."""
-    return TimingSimulator(config).run(trace, max_instructions, warmup=warmup, watchdog=watchdog)
+    """Convenience wrapper: run one configuration over a trace.
+
+    When an observability session is active (``--metrics-out`` /
+    ``--trace-events`` / ``--profile``), the run is wall-timed, its
+    counters accumulate into the session registry, and cycle events
+    land in the session ring buffer; with no session the only cost is
+    one ``None`` check.
+    """
+    from repro.obs.session import active_session
+
+    session = active_session()
+    if session is None:
+        return TimingSimulator(config, events=events).run(
+            trace, max_instructions, warmup=warmup, watchdog=watchdog
+        )
+    if events is None:
+        events = session.events
+    t0 = time.perf_counter()
+    stats = TimingSimulator(config, events=events).run(
+        trace, max_instructions, warmup=warmup, watchdog=watchdog
+    )
+    session.record_run(stats, time.perf_counter() - t0)
+    return stats
 
 
 __all__ = ["TimingSimulator", "simulate"]

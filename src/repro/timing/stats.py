@@ -1,8 +1,56 @@
-"""Simulation statistics."""
+"""Simulation statistics.
+
+:class:`SimStats` is the mutable per-run accumulator the hot simulation
+loop increments through plain attributes (the cheapest thing Python
+offers).  Its schema, however, is owned by :data:`METRIC_CATALOG` — the
+single table mapping every counter field to its dotted metric name and
+description — which backs the uniform observability surface:
+:meth:`SimStats.to_dict` (flat export including the ``extra`` dict and
+derived rates), :meth:`SimStats.merge` (cross-run/cross-benchmark
+aggregation), and :meth:`SimStats.publish` (accumulation into a
+:class:`repro.obs.registry.MetricsRegistry` under the ``sim.*``
+namespace).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+#: field name → (dotted metric name, description).  The authoritative
+#: metric catalog for the timing simulator; docs/observability.md
+#: renders this table.
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    "instructions": ("sim.instructions", "committed instructions in the measured window"),
+    "cycles": ("sim.cycles", "cycles spanned by the measured window"),
+    "loads": ("sim.mem.loads", "committed loads"),
+    "stores": ("sim.mem.stores", "committed stores"),
+    "branches": ("sim.branch.conditional", "committed conditional branches"),
+    "branch_mispredicts": ("sim.branch.mispredicts", "direction mispredictions"),
+    "early_resolved_mispredicts": (
+        "sim.branch.early_resolved", "mispredicts resolved on a partial operand (§5.3)"),
+    "l1d_hits": ("sim.l1d.hits", "L1D load hits"),
+    "l1d_misses": ("sim.l1d.misses", "L1D load misses"),
+    "load_replays": ("sim.mem.load_replays", "load-hit speculation replays"),
+    "ptm_accesses": ("sim.ptm.accesses", "loads using partial tag matching (§5.2)"),
+    "ptm_early_hits": ("sim.ptm.early_hits", "correct speculative way selections"),
+    "ptm_early_misses": ("sim.ptm.early_misses", "early non-speculative miss signals"),
+    "ptm_way_mispredicts": ("sim.ptm.way_mispredicts", "wrong way picked, replay needed"),
+    "lsd_searches": ("sim.lsd.searches", "loads that searched older stores (§5.1)"),
+    "lsd_early_releases": (
+        "sim.lsd.early_releases", "loads released before all store addresses were known"),
+    "store_forwards": ("sim.lsd.store_forwards", "loads forwarded from an older store"),
+    "ruu_stall_cycles": ("sim.stall.ruu_cycles", "fetch cycles lost to RUU occupancy"),
+    "lsq_stall_cycles": ("sim.stall.lsq_cycles", "fetch cycles lost to LSQ occupancy"),
+}
+
+#: derived-rate name → description (computed, never stored).
+DERIVED_CATALOG: dict[str, str] = {
+    "ipc": "committed instructions per cycle",
+    "load_fraction": "loads / instructions",
+    "branch_accuracy": "conditional-branch direction accuracy (Table 1)",
+    "ptm_way_mispredict_rate": "fraction of PTM accesses with a wrong way prediction",
+    "l1d_hit_rate": "L1D load hit rate",
+}
 
 
 @dataclass
@@ -59,6 +107,69 @@ class SimStats:
         (the paper reports ~2% for slice-by-2, ~1% for slice-by-4)."""
         return self.ptm_way_mispredicts / self.ptm_accesses if self.ptm_accesses else 0.0
 
+    @property
+    def l1d_hit_rate(self) -> float:
+        accesses = self.l1d_hits + self.l1d_misses
+        return self.l1d_hits / accesses if accesses else 0.0
+
+    # ------------------------------------------------------------- export
+
+    def to_dict(self) -> dict:
+        """Flat machine-readable form: counters, ``extra``, derived rates.
+
+        The canonical export the aggregation/reporting layers consume
+        instead of reaching into fields ad hoc.
+        """
+        out: dict = {"config_name": self.config_name}
+        for name in METRIC_CATALOG:
+            out[name] = getattr(self, name)
+        out["extra"] = dict(self.extra)
+        out["derived"] = {name: getattr(self, name) for name in DERIVED_CATALOG}
+        return out
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Sum of two runs' counters (``extra`` merged key-wise).
+
+        Derived rates recompute from the merged counters, which makes
+        this the instruction-weighted aggregate — the right way to pool
+        windows of the same configuration across benchmarks or shards.
+        """
+        merged = SimStats(
+            config_name=self.config_name
+            if self.config_name == other.config_name
+            else f"{self.config_name}+{other.config_name}",
+        )
+        for name in METRIC_CATALOG:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.extra = dict(self.extra)
+        for key, value in other.extra.items():
+            merged.extra[key] = merged.extra.get(key, 0) + value
+        return merged
+
+    @classmethod
+    def merge_all(cls, runs) -> "SimStats":
+        """Fold an iterable of stats into one aggregate."""
+        runs = list(runs)
+        if not runs:
+            raise ValueError("merge_all of empty sequence")
+        total = runs[0]
+        for stats in runs[1:]:
+            total = total.merge(stats)
+        return total
+
+    def publish(self, registry, prefix: str = "") -> None:
+        """Accumulate this run's counters into a metrics registry.
+
+        Dotted names come from :data:`METRIC_CATALOG` (``sim.*``),
+        optionally under an extra *prefix*; ``extra`` entries land under
+        ``sim.extra.*``.  Publishing several runs sums them.
+        """
+        dot = prefix + "." if prefix else ""
+        for name, (metric, help) in METRIC_CATALOG.items():
+            registry.counter(dot + metric, help=help).inc(getattr(self, name))
+        for key, value in self.extra.items():
+            registry.counter(f"{dot}sim.extra.{key}", help="feature-specific counter").inc(value)
+
     def summary(self) -> str:
         """Multi-line human-readable dump."""
         lines = [
@@ -76,3 +187,12 @@ class SimStats:
             f"store forwards    : {self.store_forwards}",
         ]
         return "\n".join(lines)
+
+
+def _catalog_is_complete() -> bool:
+    """Every counter field is cataloged (checked by the test suite)."""
+    counted = {f.name for f in fields(SimStats)} - {"config_name", "extra"}
+    return counted == set(METRIC_CATALOG)
+
+
+__all__ = ["DERIVED_CATALOG", "METRIC_CATALOG", "SimStats"]

@@ -85,6 +85,76 @@ def test_inject_experiment_reports_clean_campaign(capsys):
     assert "li" in out and "silent" in out.lower()
 
 
+def test_observability_flags_emit_all_artifacts(tmp_path, capsys):
+    """`--metrics-out/--trace-events/--profile` produce schema-valid
+    artifacts plus a BENCH snapshot with per-config IPC and throughput."""
+    import json
+
+    from repro.obs.events import validate_jsonl_file
+    from repro.obs.manifest import load_bench_snapshot, validate_manifest
+    from repro.obs.registry import validate_metrics_dump
+
+    metrics = tmp_path / "m.json"
+    events = tmp_path / "t.jsonl"
+    bench_dir = tmp_path / "bench"
+    runner.clear_trace_cache()
+    try:
+        rc = main([
+            "table1", "-n", "2000", "-b", "li",
+            "--metrics-out", str(metrics),
+            "--trace-events", str(events),
+            "--profile",
+            "--bench-dir", str(bench_dir),
+        ])
+    finally:
+        runner.clear_trace_cache()
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "=== Profile:" in captured.out + captured.err
+
+    dump = json.loads(metrics.read_text())
+    validate_metrics_dump(dump)
+    validate_manifest(dump["manifest"])
+    assert dump["manifest"]["config"]["experiment"] == "table1"
+    names = dump["metrics"]
+    assert names["sim.instructions"]["value"] > 0
+    assert names["emulate.instructions"]["value"] > 0
+    assert any(n.startswith("profile.") for n in names)
+
+    assert validate_jsonl_file(events) > 0
+    perfetto = events.with_suffix(".perfetto.json")
+    chrome = json.loads(perfetto.read_text())
+    assert chrome["traceEvents"], "Perfetto trace must contain slices"
+
+    snapshots = sorted(bench_dir.glob("BENCH_table1-*.json"))
+    assert len(snapshots) == 1
+    payload = load_bench_snapshot(snapshots[0])
+    li = payload["benchmarks"]["li"]
+    assert li["ipc"] and all(v > 0 for v in li["ipc"].values())
+    assert li["instructions_per_second"] > 0
+    assert payload["manifest"]["git_sha"] is None or len(payload["manifest"]["git_sha"]) == 40
+
+
+def test_observability_off_leaves_no_session(tmp_path):
+    from repro.obs.session import active_session
+
+    runner.clear_trace_cache()
+    try:
+        assert main(["table1", "-n", "2000", "-b", "li"]) == 0
+    finally:
+        runner.clear_trace_cache()
+    assert active_session() is None
+
+
+def test_input_profile_flag(capsys):
+    runner.clear_trace_cache()
+    try:
+        assert main(["table1", "-n", "2000", "-b", "li", "--input-profile", "test"]) == 0
+    finally:
+        runner.clear_trace_cache()
+    assert "Table 1" in capsys.readouterr().out
+
+
 def test_timeout_flag_trips_on_tiny_budget(capsys):
     runner.clear_trace_cache()
     try:

@@ -3,7 +3,14 @@
 from repro.core.config import baseline_config, bitslice_config
 from repro.emulator.machine import Machine
 from repro.isa.assembler import assemble
-from repro.timing.pipeview import TimelineEvent, render_timeline, summarize_timeline
+from repro.obs.events import COMMIT, DISPATCH, FETCH, SLICE_COMPLETE, EventTrace
+from repro.timing.pipeview import (
+    TimelineEvent,
+    events_to_timeline,
+    render_events,
+    render_timeline,
+    summarize_timeline,
+)
 from repro.timing.simulator import TimingSimulator
 
 SRC = """
@@ -90,3 +97,78 @@ def test_summarize():
     sim = _timeline(baseline_config())
     text = summarize_timeline(sim.timeline)
     assert "median" in text and "mean" in text
+
+
+# ------------------------------------------------- event-stream renderer
+
+def test_render_events_matches_render_timeline():
+    """ASCII output is a pure view over the event stream: rendering the
+    raw events and rendering the folded timeline must agree exactly."""
+    sim = _timeline(bitslice_config(2))
+    assert render_events(sim.events, limit=16) == render_timeline(sim.timeline, limit=16)
+    assert render_events(sim.events, limit=6, offset=9) == render_timeline(
+        sim.timeline, limit=6, offset=9
+    )
+
+
+def test_events_to_timeline_drops_partial_lifecycles():
+    trace = EventTrace(capacity=None)
+    trace.emit(FETCH, 0, 1, 0x100, {"mnemonic": "addu"})          # no commit
+    trace.emit(COMMIT, 9, 2, 0x104, {"complete": 8})              # no fetch
+    trace.emit(FETCH, 2, 3, 0x108, {"mnemonic": "sll"})
+    trace.emit(DISPATCH, 3, 3, 0x108)
+    trace.emit(SLICE_COMPLETE, 5, 3, 0x108, {"slice": 0})
+    trace.emit(SLICE_COMPLETE, 7, 3, 0x108, {"slice": 1})
+    trace.emit(COMMIT, 8, 3, 0x108, {"complete": 7, "mispredicted": False})
+    rows = events_to_timeline(trace)
+    assert [e.seq for e in rows] == [3]
+    (row,) = rows
+    assert row.fetch == 2 and row.dispatch == 3 and row.commit == 8
+    assert row.slice_completions == (5, 7) and row.complete == 7
+
+
+def test_render_single_event():
+    events = [
+        TimelineEvent(seq=1, pc=0, mnemonic="addu", text="addu $t0, $s0, $s0",
+                      fetch=3, dispatch=4, slice_completions=(6,), complete=6, commit=8)
+    ]
+    text = render_timeline(events)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "cycles 3..8" in lines[0]
+    assert "F" in lines[1] and "C" in lines[1]
+
+
+def test_offset_window_header_stays_aligned():
+    """The cycle ruler must start where the timeline columns start, for
+    any offset — including windows with wide sequence numbers."""
+    events = [
+        TimelineEvent(seq=10_000_000 + i, pc=0, mnemonic="addu", text="addu",
+                      fetch=100 + 4 * i, dispatch=101 + 4 * i,
+                      slice_completions=(103 + 4 * i,), complete=103 + 4 * i,
+                      commit=105 + 4 * i)
+        for i in range(12)
+    ]
+    for offset in (0, 5, 10):
+        lines = render_timeline(events, limit=4, offset=offset).splitlines()
+        gutter = lines[0].index("cycles")
+        first = min(events[offset : offset + 4], key=lambda e: e.fetch)
+        for line in lines[1:]:
+            assert len(line) == len(lines[1])  # uniform row width
+            if line.startswith(f"{first.seq}"):
+                assert line.index("F") == gutter
+
+
+def test_commit_on_final_scaled_column_never_overflows():
+    """A commit landing on the last scaled column must clamp, not raise."""
+    events = [
+        TimelineEvent(seq=i, pc=0, mnemonic="addu", text="addu",
+                      fetch=i * 97, dispatch=i * 97 + 1,
+                      slice_completions=(i * 97 + 2,), complete=i * 97 + 2,
+                      commit=i * 97 + 3)
+        for i in range(30)
+    ]
+    for width in (7, 13, 60, 100):
+        text = render_timeline(events, limit=30, max_width=width)
+        last_row = text.splitlines()[-1]
+        assert "C" in last_row
