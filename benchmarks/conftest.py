@@ -20,6 +20,17 @@ BENCH_WARMUP = 2_000
 BENCH_SUBSET = ("bzip", "li", "mcf", "vortex")
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _no_persistent_trace_cache():
+    """Benchmarks measure real collection cost: a warm ~/.cache would
+    silently turn an emulation bench into an npz-load bench."""
+    from repro.experiments import trace_cache
+
+    trace_cache.configure(enabled=False)
+    yield
+    trace_cache.configure(enabled=False)
+
+
 @pytest.fixture(scope="session")
 def fig11_sweep():
     """One shared Figure 11 sweep reused by the fig11/fig12 benches."""

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Diff two BENCH_<run>.json perf snapshots and flag regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold 0.10] [--strict-throughput]
+
+IPC is a pure function of (trace, configuration), so any IPC drift
+between snapshots is a *simulation semantics* change and is compared
+strictly: a drop beyond ``--threshold`` (default 10%) on any benchmark
+× config cell fails the comparison (exit status 1), which is what the
+CI perf gate keys on.
+
+Host throughput (``instructions_per_second``) varies with the machine
+that produced the snapshot, so it is reported for information only
+unless ``--strict-throughput`` is given (useful when both snapshots
+come from the same runner class).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.manifest import load_bench_snapshot  # noqa: E402
+
+
+def iter_ipc_cells(snapshot: dict):
+    """Yield ``(benchmark, config, ipc)`` for every cell in a snapshot."""
+    for name, record in snapshot["benchmarks"].items():
+        ipc = record["ipc"]
+        if isinstance(ipc, dict):
+            for config, value in ipc.items():
+                yield name, config, float(value)
+        else:
+            yield name, "*", float(ipc)
+
+
+def compare(baseline: dict, current: dict, threshold: float, strict_throughput: bool):
+    """Return ``(report_lines, regressions)`` for two snapshots."""
+    base_cells = {(b, c): v for b, c, v in iter_ipc_cells(baseline)}
+    cur_cells = {(b, c): v for b, c, v in iter_ipc_cells(current)}
+    lines: list[str] = []
+    regressions: list[str] = []
+
+    common = sorted(set(base_cells) & set(cur_cells))
+    if not common:
+        regressions.append("no common benchmark/config cells between the snapshots")
+    for cell in common:
+        base, cur = base_cells[cell], cur_cells[cell]
+        delta = (cur - base) / base if base else 0.0
+        tag = ""
+        if delta < -threshold:
+            tag = "  <-- REGRESSION"
+            regressions.append(
+                f"{cell[0]}/{cell[1]}: IPC {base:.4f} -> {cur:.4f} ({delta:+.1%})"
+            )
+        lines.append(
+            f"  {cell[0]:<10s} {cell[1]:<28s} IPC {base:8.4f} -> {cur:8.4f} ({delta:+6.1%}){tag}"
+        )
+    for cell in sorted(set(base_cells) - set(cur_cells)):
+        lines.append(f"  {cell[0]:<10s} {cell[1]:<28s} dropped from current snapshot")
+    for cell in sorted(set(cur_cells) - set(base_cells)):
+        lines.append(f"  {cell[0]:<10s} {cell[1]:<28s} new in current snapshot")
+
+    lines.append("")
+    for name in sorted(set(baseline["benchmarks"]) & set(current["benchmarks"])):
+        base = float(baseline["benchmarks"][name].get("instructions_per_second", 0.0))
+        cur = float(current["benchmarks"][name].get("instructions_per_second", 0.0))
+        if base <= 0:
+            continue
+        delta = (cur - base) / base
+        note = "(informational)" if not strict_throughput else ""
+        if strict_throughput and delta < -threshold:
+            note = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: host throughput {base:,.0f} -> {cur:,.0f} inst/s ({delta:+.1%})"
+            )
+        lines.append(
+            f"  {name:<10s} host throughput {base:>12,.0f} -> {cur:>12,.0f} inst/s ({delta:+6.1%}) {note}"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_<run>.json")
+    parser.add_argument("current", help="current BENCH_<run>.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="relative drop that counts as a regression (default 0.10)",
+    )
+    parser.add_argument(
+        "--strict-throughput", action="store_true",
+        help="also gate on host inst/s (only meaningful on identical hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_bench_snapshot(args.baseline)
+    current = load_bench_snapshot(args.current)
+    print(f"baseline: {baseline['run']}  (git {baseline['manifest'].get('git_sha')})")
+    print(f"current:  {current['run']}  (git {current['manifest'].get('git_sha')})")
+    lines, regressions = compare(
+        baseline, current, args.threshold, args.strict_throughput
+    )
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no IPC regression beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

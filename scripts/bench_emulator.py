@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Measure emulator throughput: fast pre-bound dispatch vs. reference.
+
+Usage::
+
+    python scripts/bench_emulator.py [--steps 50000] [--benchmarks li mcf ...]
+
+Runs every selected workload through ``Machine.run()`` (no trace
+records) and ``Machine.trace()`` (full records) under both interpreter
+back ends, using the observability layer's :class:`PhaseProfiler` as
+the timing source, and prints per-mode instructions/second plus the
+fast/reference speedup.  This is the number behind the "emulator
+throughput" row of docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.emulator.machine import Machine  # noqa: E402
+from repro.obs.profiler import PhaseProfiler  # noqa: E402
+from repro.workloads import BENCHMARK_NAMES, get_workload  # noqa: E402
+
+DEFAULT_STEPS = 50_000
+DEFAULT_BENCHMARKS = ("bzip", "li", "mcf", "vortex")
+
+
+def bench(names, steps: int) -> PhaseProfiler:
+    profiler = PhaseProfiler()
+    for name in names:
+        program = get_workload(name).build(iters=None, profile="ref")
+        for mode in ("reference", "fast"):
+            with profiler.phase(f"run.{mode}") as ph:
+                ph.add_items(Machine(program, dispatch=mode).run(steps))
+            with profiler.phase(f"trace.{mode}") as ph:
+                n = sum(1 for _ in Machine(program, dispatch=mode).trace(steps))
+                ph.add_items(n)
+    return profiler
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS, metavar="N",
+                        help=f"instructions per benchmark per mode (default {DEFAULT_STEPS})")
+    parser.add_argument("--benchmarks", "-b", nargs="+", default=list(DEFAULT_BENCHMARKS),
+                        choices=BENCHMARK_NAMES, metavar="NAME",
+                        help=f"workloads to run (default {' '.join(DEFAULT_BENCHMARKS)})")
+    args = parser.parse_args(argv)
+
+    profiler = bench(args.benchmarks, args.steps)
+    print(profiler.report())
+    print()
+    for kind in ("run", "trace"):
+        fast = profiler.phases[f"{kind}.fast"]
+        ref = profiler.phases[f"{kind}.reference"]
+        speedup = ref.seconds / fast.seconds if fast.seconds else float("inf")
+        print(
+            f"{kind}(): reference {ref.items / ref.seconds:,.0f} inst/s, "
+            f"fast {fast.items / fast.seconds:,.0f} inst/s  ->  {speedup:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

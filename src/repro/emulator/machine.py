@@ -6,14 +6,32 @@ branch delay slots (matching SimpleScalar's simplified PISA).  Text is
 pre-decoded at load time so the interpreter loop touches only Python
 ints and the pre-built :class:`~repro.isa.instructions.Instruction`
 objects.
+
+Two interpreters share the machine state:
+
+* the **fast path** (default): every decoded instruction is pre-bound
+  once to a specialized closure from :mod:`repro.emulator.dispatch`, so
+  the execute loop is threaded code with zero mnemonic string
+  comparisons, and :meth:`run` retires instructions without building
+  ``TraceRecord`` objects it would only discard;
+* the **golden reference** (:meth:`step_reference`): the original
+  ``if``/``elif`` interpreter, kept verbatim as the oracle that the
+  fast path is differentially checked against
+  (:func:`repro.emulator.dispatch.cross_check`).
+
+Set ``REPRO_DISPATCH=reference`` (or pass ``dispatch="reference"``) to
+force the golden interpreter everywhere — useful for A/B performance
+measurements and for bisecting a suspected fast-path bug.
 """
 
 from __future__ import annotations
 
 import math
-import struct
+import os
 import time
 
+from repro.emulator import dispatch as _dispatch
+from repro.emulator.dispatch import bits_from_f32, f32_from_bits, to_signed
 from repro.emulator.memory import SparseMemory
 from repro.emulator.syscalls import SYS_EXIT, do_syscall
 from repro.emulator.trace import TraceRecord
@@ -24,25 +42,14 @@ from repro.isa.registers import FCC, FP_BASE, HI, LO, NUM_EXT_REGS
 
 _M = 0xFFFFFFFF
 
-
-def f32_from_bits(bits: int) -> float:
-    """Reinterpret a 32-bit pattern as an IEEE single."""
-    return struct.unpack("<f", struct.pack("<I", bits & _M))[0]
+#: Environment variable selecting the interpreter (``fast``/``reference``).
+DISPATCH_ENV = "REPRO_DISPATCH"
 
 
-def bits_from_f32(value: float) -> int:
-    """Round a Python float to IEEE single and return its bit pattern."""
-    try:
-        return struct.unpack("<I", struct.pack("<f", value))[0]
-    except (OverflowError, ValueError):
-        # Magnitude beyond float32 range rounds to a signed infinity.
-        inf = math.copysign(math.inf, value)
-        return struct.unpack("<I", struct.pack("<f", inf))[0]
-
-
-def to_signed(value: int) -> int:
-    """Interpret a 32-bit unsigned image as a signed int."""
-    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+def default_dispatch() -> str:
+    """Interpreter selected by ``REPRO_DISPATCH`` (default ``fast``)."""
+    value = os.environ.get(DISPATCH_ENV, "fast").strip().lower()
+    return "reference" if value in ("reference", "ref", "slow") else "fast"
 
 
 class Machine:
@@ -57,7 +64,7 @@ class Machine:
         instret: retired instruction count.
     """
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, dispatch: str | None = None) -> None:
         self.program = program
         self.memory = SparseMemory()
         self.memory.write_block(program.data_base, bytes(program.data))
@@ -72,6 +79,10 @@ class Machine:
             except EncodingError:
                 decoded.append(None)
         self.decoded = decoded
+        self.dispatch = dispatch if dispatch is not None else default_dispatch()
+        self._fast = self.dispatch == "fast"
+        # Pre-bound handlers, parallel to ``decoded`` (fast path only).
+        self._bound = _dispatch.bind_program(decoded) if self._fast else None
         self.regs: list[int] = [0] * NUM_EXT_REGS
         self.regs[29] = STACK_TOP  # $sp
         self.regs[28] = (program.data_base + 0x8000) & _M  # $gp convention
@@ -103,6 +114,33 @@ class Machine:
 
     def step(self) -> TraceRecord:
         """Execute one instruction and return its trace record.
+
+        Dispatches through the pre-bound handler (fast path) or the
+        golden reference interpreter, per this machine's ``dispatch``
+        mode — the two are bit-identical by construction and checked
+        differentially (:func:`repro.emulator.dispatch.cross_check`).
+
+        Raises:
+            EmulatorError: if the machine is already halted or the PC
+                leaves the text segment.
+        """
+        if self.halted:
+            raise EmulatorError("machine is halted")
+        if not self._fast:
+            return self.step_reference()
+        pc = self.pc
+        bound = self._bound
+        index = (pc - self.program.text_base) >> 2
+        if pc & 3 or not 0 <= index < len(bound) or bound[index] is None:
+            self.fetch(pc)  # raises IllegalInstruction with the canonical message
+        return bound[index](self, True)
+
+    def step_reference(self) -> TraceRecord:
+        """The golden-model interpreter: one ``if``/``elif`` chain.
+
+        Kept verbatim as the oracle for the pre-bound fast path; it is
+        exercised by the differential tests and selectable at runtime
+        via ``REPRO_DISPATCH=reference``.
 
         Raises:
             EmulatorError: if the machine is already halted or the PC
@@ -414,6 +452,44 @@ class Machine:
 
     # ------------------------------------------------------------------- run
 
+    def _loop(self, max_steps: int, watchdog, emit: bool):
+        """The single interpreter loop behind :meth:`run` and :meth:`trace`.
+
+        A generator that executes until halt or *max_steps*, yielding a
+        :class:`TraceRecord` per retired instruction when *emit* is
+        true.  With *emit* false the loop never suspends — handlers
+        skip record construction entirely and driving the generator
+        costs one frame — which is what makes :meth:`run` the fast
+        path.  The optional watchdog is polled once per instruction in
+        either mode.
+        """
+        if watchdog is not None:
+            watchdog.start()
+        n = 0
+        if self._fast:
+            bound = self._bound
+            base = self.program.text_base
+            size = len(bound)
+            while not self.halted and n < max_steps:
+                pc = self.pc
+                index = (pc - base) >> 2
+                if pc & 3 or not 0 <= index < size or bound[index] is None:
+                    self.fetch(pc)  # raises the canonical IllegalInstruction
+                record = bound[index](self, emit)
+                n += 1
+                if watchdog is not None:
+                    watchdog.poll(n)
+                if emit:
+                    yield record
+        else:
+            while not self.halted and n < max_steps:
+                record = self.step_reference()
+                n += 1
+                if watchdog is not None:
+                    watchdog.poll(n)
+                if emit:
+                    yield record
+
     def run(self, max_steps: int = 10_000_000, watchdog=None, profiler=None) -> int:
         """Run until halt or *max_steps*; returns instructions retired.
 
@@ -431,14 +507,10 @@ class Machine:
                 ph.add_items(retired)
             return retired
         start = self.instret
-        if watchdog is None:
-            while not self.halted and self.instret - start < max_steps:
-                self.step()
-            return self.instret - start
-        watchdog.start()
-        while not self.halted and self.instret - start < max_steps:
-            self.step()
-            watchdog.poll(self.instret - start)
+        # emit=False: the generator never yields, so this single next()
+        # drives the whole run without per-instruction suspension.
+        for _ in self._loop(max_steps, watchdog, False):  # pragma: no cover
+            pass
         return self.instret - start
 
     def trace(self, max_steps: int = 10_000_000, watchdog=None, profiler=None):
@@ -453,21 +525,13 @@ class Machine:
         if profiler is not None:
             t0 = time.perf_counter()
             try:
-                yield from self.trace(max_steps, watchdog=watchdog)
+                yield from self._loop(max_steps, watchdog, True)
             finally:
                 profiler.add(
                     "emulate.trace", time.perf_counter() - t0, items=self.instret - start
                 )
             return
-        if watchdog is None:
-            while not self.halted and self.instret - start < max_steps:
-                yield self.step()
-            return
-        watchdog.start()
-        while not self.halted and self.instret - start < max_steps:
-            record = self.step()
-            watchdog.poll(self.instret - start)
-            yield record
+        yield from self._loop(max_steps, watchdog, True)
 
     @property
     def stdout(self) -> str:
@@ -475,4 +539,14 @@ class Machine:
         return self.output.decode("latin-1")
 
 
-__all__ = ["EmulatorError", "IllegalInstruction", "Machine", "to_signed", "SYS_EXIT"]
+__all__ = [
+    "DISPATCH_ENV",
+    "EmulatorError",
+    "IllegalInstruction",
+    "Machine",
+    "SYS_EXIT",
+    "bits_from_f32",
+    "default_dispatch",
+    "f32_from_bits",
+    "to_signed",
+]

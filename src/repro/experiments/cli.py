@@ -23,6 +23,13 @@ Resilience flags:
 * ``--inject N`` — fault-injection campaign size for the ``inject``
   experiment (seeded; reports detected/masked/silent per fault kind).
 
+Performance flags (see ``docs/performance.md``):
+
+* ``--jobs N`` — fan trace collection out to N worker processes;
+* ``--trace-cache DIR`` / ``--no-trace-cache`` — persistent on-disk
+  trace cache location (default ``~/.cache/repro-traces``, also
+  settable via ``REPRO_TRACE_CACHE``) or opt-out.
+
 Observability flags (see ``docs/observability.md``):
 
 * ``--metrics-out FILE`` — dump the run's metrics registry (with a
@@ -45,6 +52,8 @@ from dataclasses import asdict
 from pathlib import Path
 
 from repro.experiments import figure1, figure2, figure4, figure6, figure11, figure12, table1, workload_table
+from repro.emulator.machine import default_dispatch
+from repro.experiments import trace_cache
 from repro.experiments.runner import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
@@ -109,6 +118,20 @@ def _parser() -> argparse.ArgumentParser:
         "--inject-seed", type=int, default=2003, metavar="SEED",
         help="RNG seed for the fault-injection campaign (default 2003)",
     )
+    perf = p.add_argument_group("performance (docs/performance.md)")
+    perf.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for parallel trace collection (default 1: sequential)",
+    )
+    perf.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="persistent trace-cache directory (default ~/.cache/repro-traces "
+             "or $REPRO_TRACE_CACHE)",
+    )
+    perf.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the persistent trace cache for this run",
+    )
     obs = p.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -161,6 +184,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     set_wall_timeout(args.timeout)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    trace_cache.configure(
+        args.trace_cache, enabled=False if args.no_trace_cache else None
+    )
+    trace_cache.reset_stats()
     obs_on = bool(
         args.metrics_out or args.trace_events or args.profile or args.heartbeat is not None
     )
@@ -202,6 +232,11 @@ def _write_obs_outputs(args, session, argv) -> None:
         },
         seed=args.inject_seed,
         argv=list(argv) if argv is not None else None,
+        extra={
+            "trace_cache": trace_cache.stats(),
+            "jobs": args.jobs,
+            "dispatch": default_dispatch(),
+        },
     )
     if args.profile:
         print(session.profiler.report(args.profile_top))
@@ -260,18 +295,33 @@ def _run_experiments(args, n, prof, benches, argv) -> int:
 
     # Per-benchmark isolation: pre-collect each workload's trace so a
     # broken/runaway workload is dropped (or degraded) up front instead
-    # of killing whichever experiment touches it first.
-    if args.keep_going and args.experiment not in ("fig1", "inject"):
+    # of killing whichever experiment touches it first.  With --jobs N
+    # the same pre-pass fans out across worker processes; either way
+    # the experiments below replay preloaded traces.
+    if (args.keep_going or args.jobs > 1) and args.experiment not in ("fig1", "inject"):
         target = benches or BENCHMARK_NAMES
-        surviving = []
-        for name in target:
-            trace, record = collect_trace_resilient(name, n + DEFAULT_WARMUP, profile=prof)
-            if trace is None:
-                failures.append(record)
-            else:
-                surviving.append(name)
-                if record is not None:
-                    degraded.append(record)
+        if args.jobs > 1:
+            from repro.experiments.parallel import collect_parallel
+
+            surviving, fails, degr = collect_parallel(
+                target, n + DEFAULT_WARMUP, jobs=args.jobs, profile=prof
+            )
+            if fails and not args.keep_going:
+                for record in fails:
+                    print(record.describe(), file=sys.stderr)
+                return 1
+            failures.extend(fails)
+            degraded.extend(degr)
+        else:
+            surviving = []
+            for name in target:
+                trace, record = collect_trace_resilient(name, n + DEFAULT_WARMUP, profile=prof)
+                if trace is None:
+                    failures.append(record)
+                else:
+                    surviving.append(name)
+                    if record is not None:
+                        degraded.append(record)
         benches = tuple(surviving)
         if not benches:
             print(render_failure_report(failures, degraded))

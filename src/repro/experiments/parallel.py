@@ -1,0 +1,251 @@
+"""Parallel sweep execution: fan work out to worker processes.
+
+Trace collection and timing simulation are pure functions of their
+inputs, so a sweep's (benchmark × configuration) grid is embarrassingly
+parallel.  This module fans cells out over a ``multiprocessing`` pool
+(the CLI's ``--jobs N``) and merges the results with the commutative
+:meth:`repro.timing.stats.SimStats.merge`, so parallel totals are
+bit-identical to a sequential run regardless of completion order.
+
+Design constraints honoured here:
+
+* **Explicit state inheritance** — the runner's wall-clock timeout and
+  per-benchmark budget overrides, and the trace cache's configuration,
+  live in module globals that a ``spawn``-ed worker would silently
+  lose.  ``_worker_init`` re-applies all of them in every worker, so a
+  ``--timeout 60 --jobs 8`` run enforces the same budget in all eight
+  processes.
+* **Failure isolation** — a crashing workload inside a worker becomes
+  the same :class:`FailureRecord` a sequential ``--keep-going`` run
+  would produce; one bad benchmark never takes down the pool.
+* **Cheap transport** — traces travel between processes as the packed
+  numpy arrays of :mod:`repro.emulator.tracefile` (a few MB), not as
+  pickled ``TraceRecord`` lists (hundreds of MB), and are re-inflated
+  once in the parent via :func:`repro.experiments.runner.preload_trace`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.emulator.tracefile import pack_trace, unpack_trace
+from repro.experiments import runner, trace_cache
+from repro.experiments.runner import FailureRecord
+from repro.harness.errors import TraceCorruption
+from repro.timing.stats import SimStats
+
+#: ``spawn`` everywhere: identical worker lifecycle on every platform,
+#: and no accidental fork-time inheritance masking a missing initarg.
+_MP_CONTEXT = "spawn"
+
+
+def default_jobs() -> int:
+    """A sane worker count: physical parallelism, small floor."""
+    return max(1, multiprocessing.cpu_count() - 1)
+
+
+def _worker_init(wall_timeout, budget_overrides, cache_dir, cache_enabled) -> None:
+    """Re-apply parent-process module state inside a fresh worker.
+
+    Everything the runner keeps in globals must be passed explicitly:
+    a spawned interpreter starts from ``import repro``, not from a copy
+    of the parent's memory.
+    """
+    runner.set_wall_timeout(wall_timeout)
+    for name, cap in budget_overrides.items():
+        runner.set_budget_override(name, cap)
+    trace_cache.configure(cache_dir, cache_enabled)
+
+
+@dataclass(frozen=True)
+class CollectResult:
+    """One benchmark's collection outcome, shipped parent-ward."""
+
+    name: str
+    max_steps: int                    # budget actually used (post-degradation)
+    arrays: dict | None               # packed trace, None on failure
+    failure: FailureRecord | None
+    degraded_steps: int | None
+    seconds: float
+    cache_hits: int
+    cache_misses: int
+
+
+def _collect_worker(task) -> CollectResult:
+    name, max_steps, iters, skip, profile = task
+    trace_cache.reset_stats()
+    t0 = time.perf_counter()
+    trace, record = runner.collect_trace_resilient(
+        name, max_steps, iters=iters, skip=skip, profile=profile
+    )
+    seconds = time.perf_counter() - t0
+    stats = trace_cache.stats()
+    degraded = record.degraded_steps if record is not None else None
+    used = degraded if degraded is not None else max_steps
+    return CollectResult(
+        name=name,
+        max_steps=used,
+        arrays=pack_trace(trace) if trace is not None else None,
+        failure=record,
+        degraded_steps=degraded,
+        seconds=seconds,
+        cache_hits=stats["hits"],
+        cache_misses=stats["misses"],
+    )
+
+
+def collect_parallel(
+    names,
+    max_steps: int,
+    jobs: int,
+    iters: int | None = None,
+    skip: int | None = None,
+    profile: str = "ref",
+):
+    """Collect traces for *names* across *jobs* worker processes.
+
+    Every successful trace is preloaded into this process's runner
+    cache, so the experiments that follow never re-emulate; worker
+    cache hit/miss counts fold into the parent's counters (and thus the
+    run manifest).  Returns ``(surviving, failures, degraded)`` with
+    the same semantics as the sequential ``--keep-going`` pre-pass.
+    """
+    names = list(names)
+    tasks = [(name, max_steps, iters, skip, profile) for name in names]
+    enabled = trace_cache.enabled()
+    ctx = multiprocessing.get_context(_MP_CONTEXT)
+    with ctx.Pool(
+        processes=min(jobs, len(tasks)) or 1,
+        initializer=_worker_init,
+        initargs=(
+            runner.wall_timeout(),
+            dict(runner._budget_overrides),
+            str(trace_cache.cache_dir()) if enabled else None,
+            enabled,
+        ),
+    ) as pool:
+        results = pool.map(_collect_worker, tasks)
+
+    from repro.obs.session import active_session
+
+    session = active_session()
+    surviving: list[str] = []
+    failures: list[FailureRecord] = []
+    degraded: list[FailureRecord] = []
+    for result in results:
+        trace_cache.add_stats(result.cache_hits, result.cache_misses)
+        if result.arrays is None:
+            failures.append(result.failure)
+            continue
+        try:
+            records = unpack_trace(result.arrays)
+        except TraceCorruption as exc:  # pragma: no cover - transport bug guard
+            failures.append(
+                FailureRecord(
+                    benchmark=result.name, stage="collect",
+                    error=type(exc).__name__, message=str(exc),
+                )
+            )
+            continue
+        if result.degraded_steps is not None:
+            runner.set_budget_override(result.name, result.degraded_steps)
+            degraded.append(result.failure)
+        runner.preload_trace(
+            result.name, result.max_steps, iters, skip, profile, records
+        )
+        if session is not None:
+            if result.cache_hits and not result.cache_misses:
+                session.note_cache_hit(result.name, len(records), result.seconds)
+            else:
+                session.note_collection(result.name, len(records), result.seconds)
+        surviving.append(result.name)
+    return surviving, failures, degraded
+
+
+def _simulate_cell(task):
+    """One (benchmark, config) timing run inside a worker."""
+    name, config, max_steps, warmup, iters, skip, profile = task
+    from repro.timing.simulator import simulate
+
+    try:
+        trace = runner.collect_trace(name, max_steps + warmup, iters=iters, skip=skip, profile=profile)
+        stats = simulate(config, trace, warmup=warmup)
+    except Exception as exc:
+        return name, config.name, None, FailureRecord(
+            benchmark=name, stage=f"simulate[{config.name}]",
+            error=type(exc).__name__, message=str(exc),
+        )
+    return name, config.name, stats, None
+
+
+def run_cells(
+    names,
+    configs,
+    max_steps: int,
+    warmup: int,
+    jobs: int,
+    iters: int | None = None,
+    skip: int | None = None,
+    profile: str = "ref",
+    keep_going: bool = False,
+):
+    """Fan a (benchmark × config) grid out to *jobs* workers.
+
+    Returns ``(grid, failures)`` where ``grid[name][config_name]`` is
+    the cell's :class:`SimStats`.  Without *keep_going* the first cell
+    failure raises.  Per-config totals merged from the grid are
+    bit-identical to a sequential sweep because ``SimStats.merge`` is
+    commutative and associative.
+    """
+    tasks = [
+        (name, config, max_steps, warmup, iters, skip, profile)
+        for name in names
+        for config in configs
+    ]
+    enabled = trace_cache.enabled()
+    ctx = multiprocessing.get_context(_MP_CONTEXT)
+    with ctx.Pool(
+        processes=min(jobs, len(tasks)) or 1,
+        initializer=_worker_init,
+        initargs=(
+            runner.wall_timeout(),
+            dict(runner._budget_overrides),
+            str(trace_cache.cache_dir()) if enabled else None,
+            enabled,
+        ),
+    ) as pool:
+        results = pool.map(_simulate_cell, tasks)
+
+    grid: dict[str, dict[str, SimStats]] = {}
+    failures: list[FailureRecord] = []
+    for name, config_name, stats, failure in results:
+        if failure is not None:
+            if not keep_going:
+                raise RuntimeError(failure.describe())
+            failures.append(failure)
+            continue
+        grid.setdefault(name, {})[config_name] = stats
+    return grid, failures
+
+
+def merge_by_config(grid) -> dict[str, SimStats]:
+    """Collapse a ``run_cells`` grid into per-config suite totals."""
+    totals: dict[str, list[SimStats]] = {}
+    for per_config in grid.values():
+        for config_name, stats in per_config.items():
+            totals.setdefault(config_name, []).append(stats)
+    return {
+        config_name: SimStats.merge_all(runs)
+        for config_name, runs in totals.items()
+    }
+
+
+__all__ = [
+    "CollectResult",
+    "collect_parallel",
+    "default_jobs",
+    "merge_by_config",
+    "run_cells",
+]

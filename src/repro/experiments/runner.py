@@ -20,6 +20,7 @@ from functools import lru_cache
 
 from repro.core.config import MachineConfig
 from repro.emulator.trace import TraceRecord
+from repro.experiments import trace_cache
 from repro.harness.watchdog import Watchdog
 from repro.obs.session import active_session
 from repro.timing.simulator import simulate
@@ -42,6 +43,10 @@ _wall_timeout: float | None = None
 #: Per-benchmark instruction-budget caps registered by graceful
 #: degradation (a collection that only succeeded at a reduced budget).
 _budget_overrides: dict[str, int] = {}
+
+#: Traces collected elsewhere (parallel worker processes) and injected
+#: into this process so ``_collect`` never re-emulates them.
+_preloaded: dict[tuple, tuple[TraceRecord, ...]] = {}
 
 
 def set_wall_timeout(seconds: float | None) -> None:
@@ -69,7 +74,23 @@ def budget_override(name: str) -> int | None:
 def _collect(
     name: str, max_steps: int, iters: int | None, skip: int | None, profile: str
 ) -> tuple[TraceRecord, ...]:
+    preloaded = _preloaded.get((name, max_steps, iters, skip, profile))
+    if preloaded is not None:
+        return preloaded
     workload = get_workload(name)
+    session = active_session()
+    # L2: the persistent on-disk cache.  The key covers the program
+    # image, so a stale entry after a workload edit is unreachable.
+    key = None
+    if trace_cache.enabled():
+        program = workload.build(iters=iters, profile=profile)
+        key = trace_cache.cache_key(name, max_steps, iters, skip, profile, program)
+        t0 = time.perf_counter()
+        cached = trace_cache.load(name, key)
+        if cached is not None:
+            if session is not None:
+                session.note_cache_hit(name, len(cached), time.perf_counter() - t0)
+            return cached
     watchdog = (
         Watchdog(max_seconds=_wall_timeout, label=f"collect[{name}]")
         if _wall_timeout is not None
@@ -79,9 +100,10 @@ def _collect(
     trace = tuple(
         workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile, watchdog=watchdog)
     )
-    session = active_session()
     if session is not None:
         session.note_collection(name, len(trace), time.perf_counter() - t0)
+    if key is not None:
+        trace_cache.store(name, key, trace)
     return trace
 
 
@@ -195,7 +217,30 @@ def sweep_configs(
     return [simulate(config, trace, warmup=warmup) for config in configs]
 
 
+def preload_trace(
+    name: str,
+    max_steps: int,
+    iters: int | None,
+    skip: int | None,
+    profile: str,
+    records,
+) -> None:
+    """Inject a trace collected elsewhere (a ``--jobs`` worker).
+
+    The next ``collect_trace`` with the same parameters returns this
+    trace instead of re-emulating the workload.
+    """
+    _preloaded[(name, max_steps, iters, skip, profile)] = tuple(records)
+
+
 def clear_trace_cache() -> None:
-    """Drop cached traces and degradation state (tests, memory)."""
+    """Drop cached traces and degradation state (tests, memory).
+
+    Clears the in-memory layers only; the persistent on-disk cache is
+    content-addressed and needs no invalidation (its hit/miss counters
+    are reset so tests observe a clean slate).
+    """
     _collect.cache_clear()
     _budget_overrides.clear()
+    _preloaded.clear()
+    trace_cache.reset_stats()

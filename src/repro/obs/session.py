@@ -55,6 +55,7 @@ class ObsSession:
         self.runs: list[RunRecord] = []
         self.current_benchmark: str | None = None
         self.collections = 0
+        self.cache_hits = 0
         self._t0 = time.monotonic()
         self._last_beat = self._t0
 
@@ -69,6 +70,18 @@ class ObsSession:
         self.registry.counter("emulate.collections", help="trace collections").inc()
         self.registry.timer("emulate.wall", help="emulator wall time").add(seconds)
         self.heartbeat(f"collect.{benchmark}")
+
+    def note_cache_hit(self, benchmark: str, records: int, seconds: float) -> None:
+        """Called when a collection is served by the persistent cache."""
+        self.current_benchmark = benchmark
+        self.cache_hits += 1
+        self.profiler.add(f"cache.hit.{benchmark}", seconds, items=records)
+        self.registry.counter("trace_cache.hits", help="persistent-cache hits").inc()
+        self.registry.counter(
+            "trace_cache.records", help="trace records served from cache"
+        ).inc(records)
+        self.registry.timer("trace_cache.load_wall", help="cache load wall time").add(seconds)
+        self.heartbeat(f"cache.hit.{benchmark}")
 
     def record_run(self, stats, wall_seconds: float) -> None:
         """Called after one ``simulate()``; *stats* is a ``SimStats``."""

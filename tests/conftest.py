@@ -9,8 +9,31 @@ from __future__ import annotations
 import pytest
 
 from repro.emulator.machine import Machine
+from repro.experiments import runner, trace_cache
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _isolate_runner_globals(monkeypatch):
+    """Keep the runner's process-global knobs from leaking across tests.
+
+    ``set_wall_timeout`` and the persistent trace cache are module
+    state; a test that sets either must not change the behaviour of
+    every test that runs after it.  The cache is disabled both
+    explicitly and via the environment (the CLI's ``main()`` resets the
+    explicit configuration, so the env layer is what actually protects
+    CLI tests) — the suite never reads or writes ``~/.cache``.  Cache
+    tests opt back in with ``trace_cache.configure(tmp_path,
+    enabled=True)``.
+    """
+    monkeypatch.setenv(trace_cache.ENV_VAR, "off")
+    trace_cache.configure(enabled=False)
+    trace_cache.reset_stats()
+    yield
+    runner.set_wall_timeout(None)
+    trace_cache.configure(enabled=False)
+    trace_cache.reset_stats()
 
 
 @pytest.fixture(scope="session")

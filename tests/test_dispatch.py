@@ -1,0 +1,135 @@
+"""Differential tests: pre-bound fast dispatch vs. the golden reference.
+
+The fast path must be bit-identical to ``Machine.step_reference()`` —
+same ``TraceRecord`` stream, same architectural state, same faults.
+Random programs (hypothesis) and a real benchmark slice are both driven
+through the two interpreters in lockstep.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.emulator.dispatch import BINDERS, DispatchDivergence, bind, cross_check
+from repro.emulator.machine import DISPATCH_ENV, Machine, default_dispatch
+from repro.harness.errors import EmulatorError, IllegalInstruction
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.workloads import get_workload
+
+from tests.test_differential import straight_line_program
+
+
+@given(straight_line_program())
+@settings(max_examples=40, deadline=None)
+def test_random_programs_cross_check(case):
+    source, _ops = case
+    cross_check(assemble(source), max_steps=10_000)
+
+
+@pytest.mark.parametrize("name", ["li", "vortex"])
+def test_benchmark_slice_identical_trace_streams(name):
+    """A real benchmark slice produces identical TraceRecord streams."""
+    program = get_workload(name).build(iters=1)
+    fast = Machine(program, dispatch="fast")
+    gold = Machine(program, dispatch="reference")
+    fast_records = list(fast.trace(5_000))
+    gold_records = list(gold.trace(5_000))
+    assert fast_records == gold_records
+    assert fast.regs == gold.regs
+    assert fast.pc == gold.pc
+    assert fast.instret == gold.instret
+
+
+def test_cross_check_covers_control_memory_and_syscalls():
+    """The helper exercises branches, memory, mult/div and syscalls."""
+    source = """
+main:   li   $t0, 10
+        li   $t1, 0
+loop:   addu $t1, $t1, $t0
+        mult $t1, $t0
+        mflo $t2
+        sw   $t2, 0($sp)
+        lw   $t3, 0($sp)
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $t1
+        li   $v0, 1
+        syscall
+        halt
+"""
+    retired = cross_check(assemble(source), max_steps=1_000)
+    assert retired > 10
+
+
+def test_divergence_is_reported():
+    """A (deliberately) desynchronized pair raises DispatchDivergence."""
+    program = assemble("main: li $t0, 1\n halt\n")
+    fast = Machine(program, dispatch="fast")
+    fast.regs[8] = 99  # corrupt one machine's state up front
+    gold = Machine(program, dispatch="reference")
+    with pytest.raises(DispatchDivergence):
+        got = fast.step()
+        want = gold.step_reference()
+        if got != want:
+            raise DispatchDivergence("streams diverged")
+        raise AssertionError("corrupted state should have diverged")
+
+
+def test_every_reference_mnemonic_has_a_binder():
+    """The handler table covers the full executable ISA."""
+    from repro.isa.encoding import ALL_MNEMONICS
+
+    missing = sorted(set(ALL_MNEMONICS) - set(BINDERS))
+    assert not missing, f"mnemonics without a fast-path binder: {missing}"
+
+
+def test_unknown_mnemonic_faults_at_execute_time():
+    handler = bind(Instruction("made-up-op"))
+    machine = Machine(assemble("main: nop\n halt\n"))
+    with pytest.raises(IllegalInstruction):
+        handler(machine, True)
+
+
+def test_fast_step_faults_match_reference():
+    """PC faults raise the same IllegalInstruction either way."""
+    for mode in ("fast", "reference"):
+        machine = Machine(assemble("main: li $t0, 2\n jr $t0\n nop\n"), dispatch=mode)
+        machine.step()
+        machine.step()
+        with pytest.raises(IllegalInstruction):
+            machine.step()
+
+
+def test_fast_step_after_halt_raises():
+    machine = Machine(assemble("main: halt\n"), dispatch="fast")
+    machine.run()
+    assert machine.halted
+    with pytest.raises(EmulatorError):
+        machine.step()
+
+
+def test_dispatch_env_selects_reference(monkeypatch):
+    monkeypatch.setenv(DISPATCH_ENV, "reference")
+    assert default_dispatch() == "reference"
+    machine = Machine(assemble("main: nop\n halt\n"))
+    assert machine.dispatch == "reference"
+    assert machine._bound is None
+    machine.run()
+    assert machine.halted
+
+    monkeypatch.setenv(DISPATCH_ENV, "fast")
+    assert default_dispatch() == "fast"
+
+
+def test_run_and_trace_agree_on_retired_count():
+    """run() (no records) and trace() (records) retire identically."""
+    program = get_workload("li").build(iters=1)
+    runner = Machine(program, dispatch="fast")
+    tracer = Machine(program, dispatch="fast")
+    retired = runner.run(3_000)
+    records = list(tracer.trace(3_000))
+    assert retired == len(records) == 3_000
+    assert runner.pc == tracer.pc
+    assert runner.regs == tracer.regs

@@ -304,7 +304,11 @@ def test_undecodable_word_is_illegal_instruction():
     from repro.harness.errors import IllegalInstruction
 
     machine = Machine(assemble("main: nop\n nop\n halt\n"))
-    machine.decoded[1] = None  # simulate a word the decoder rejected
+    # Simulate a word the decoder rejected (both the decoded view and
+    # the pre-bound handler table reflect a decode failure).
+    machine.decoded[1] = None
+    if machine._bound is not None:
+        machine._bound[1] = None
     machine.step()
     with pytest.raises(IllegalInstruction) as excinfo:
         machine.step()

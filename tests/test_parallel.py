@@ -1,0 +1,83 @@
+"""Parallel sweep layer: worker fan-out, state inheritance, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import baseline_config, simple_pipeline_config
+from repro.experiments import parallel, runner, trace_cache
+from repro.timing.simulator import simulate
+
+N = 1_200
+WARMUP = 200
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runner():
+    runner.clear_trace_cache()
+    yield
+    runner.clear_trace_cache()
+
+
+def test_collect_parallel_matches_sequential():
+    names = ["li", "mcf"]
+    surviving, failures, degraded = parallel.collect_parallel(names, N, jobs=2)
+    assert surviving == names and not failures and not degraded
+    for name in names:
+        preloaded = runner.collect_trace(name, N)
+        runner._collect.cache_clear()
+        runner._preloaded.clear()
+        assert preloaded == runner.collect_trace(name, N)
+
+
+def test_collect_parallel_preloads_parent_cache():
+    parallel.collect_parallel(["li"], N, jobs=1)
+    assert ("li", N, None, None, "ref") in runner._preloaded
+
+
+def test_workers_inherit_wall_timeout():
+    """A timeout set in the parent must bind inside every worker."""
+    runner.set_wall_timeout(1e-9)  # impossible budget: all attempts fail
+    surviving, failures, degraded = parallel.collect_parallel(["li"], N, jobs=1)
+    assert surviving == [] and not degraded
+    (record,) = failures
+    assert record.benchmark == "li" and record.stage == "collect"
+
+
+def test_workers_inherit_cache_config(tmp_path):
+    trace_cache.configure(tmp_path, enabled=True)
+    parallel.collect_parallel(["li"], N, jobs=1)
+    assert len(list(tmp_path.iterdir())) == 1  # worker wrote the entry
+    stats = trace_cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    # Second pass: the worker reads the entry the first worker wrote.
+    runner.clear_trace_cache()
+    trace_cache.configure(tmp_path, enabled=True)
+    parallel.collect_parallel(["li"], N, jobs=1)
+    stats = trace_cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_run_cells_grid_matches_sequential_simulation():
+    configs = [baseline_config(), simple_pipeline_config(2)]
+    grid, failures = parallel.run_cells(
+        ["li", "mcf"], configs, N, WARMUP, jobs=2, keep_going=True
+    )
+    assert not failures
+    for name in ("li", "mcf"):
+        trace = runner.collect_trace(name, N + WARMUP)
+        for config in configs:
+            expected = simulate(config, trace, warmup=WARMUP)
+            got = grid[name][config.name]
+            assert got.to_dict() == expected.to_dict()
+
+
+def test_merge_by_config_is_order_independent():
+    configs = [baseline_config()]
+    grid, _ = parallel.run_cells(["li", "mcf"], configs, N, WARMUP, jobs=2)
+    totals = parallel.merge_by_config(grid)
+    flipped = {name: grid[name] for name in reversed(list(grid))}
+    assert (
+        parallel.merge_by_config(flipped)[configs[0].name].to_dict()
+        == totals[configs[0].name].to_dict()
+    )
