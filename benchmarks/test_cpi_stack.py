@@ -1,0 +1,39 @@
+"""Bench: CPI-stack attribution across the smoke suite.
+
+Reuses the shared Figure 11 sweep (every benchmark × every cumulative
+ladder step × both slice counts, plus the ideal machine) and asserts
+the attribution contract on every run: the ``sim.cpi.*`` components sum
+exactly to the measured cycles.  Prints the headline-configuration
+stacks — the regression-triage view ``repro-report`` ships in CI.
+"""
+
+from conftest import BENCH_SUBSET, once
+
+from repro.obs.attribution import render_stacks
+
+
+def test_cpi_stacks_sum_on_smoke_suite(benchmark, fig11_sweep):
+    result = once(benchmark, lambda: fig11_sweep)
+
+    checked = []
+    for name in BENCH_SUBSET:
+        # .cpi_stack() raises AttributionError on any sum mismatch.
+        checked.append(result.ideal[name].cpi_stack(benchmark=name))
+        for s in (2, 4):
+            for stats in result.ladder[(name, s)]:
+                checked.append(stats.cpi_stack(benchmark=name))
+
+    print()
+    headline = [
+        stack for stack in checked
+        if stack.config_name in ("ideal",)
+        or stack.config_name.endswith("partial_tag_matching")
+    ]
+    print(render_stacks(headline, title="CPI stacks — smoke suite headline configs"))
+
+    # Slicing must show up as attributed slice-chain cycles somewhere,
+    # and the memory component must register on the memory-bound mcf.
+    assert any(s.components["slice_wait"] for s in checked)
+    assert any(
+        s.components["memory"] for s in checked if s.benchmark == "mcf"
+    )

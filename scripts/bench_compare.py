@@ -68,6 +68,7 @@ def compare(baseline: dict, current: dict, threshold: float, strict_throughput: 
         lines.append(f"  {cell[0]:<10s} {cell[1]:<28s} new in current snapshot")
 
     lines.append("")
+    lines.extend(_trace_cache_lines(baseline, current))
     for name in sorted(set(baseline["benchmarks"]) & set(current["benchmarks"])):
         base = float(baseline["benchmarks"][name].get("instructions_per_second", 0.0))
         cur = float(current["benchmarks"][name].get("instructions_per_second", 0.0))
@@ -86,6 +87,37 @@ def compare(baseline: dict, current: dict, threshold: float, strict_throughput: 
     return lines, regressions
 
 
+def _trace_cache_lines(baseline: dict, current: dict) -> list[str]:
+    """Informational trace-cache hit/miss comparison from the manifests.
+
+    A warm run that suddenly reports misses means the cache key changed
+    (emulator semantics, workload source, seed) — worth knowing when
+    reading a wall-clock delta, though never a gate by itself.
+    """
+    lines = []
+    pairs = []
+    for label, snap in (("baseline", baseline), ("current", current)):
+        cache = snap.get("manifest", {}).get("trace_cache") or {}
+        hits = int(cache.get("hits", 0))
+        misses = int(cache.get("misses", 0))
+        total = hits + misses
+        rate = f"{hits / total:.0%}" if total else "n/a"
+        state = "enabled" if cache.get("enabled") else "disabled"
+        pairs.append((hits, misses))
+        lines.append(
+            f"  {label:<8s} trace cache {state}: {hits} hits / {misses} misses "
+            f"(hit rate {rate})"
+        )
+    (bh, bm), (ch, cm) = pairs
+    if (bh + bm) and (ch + cm):
+        lines.append(
+            f"  {'delta':<8s} trace cache: {ch - bh:+d} hits, {cm - bm:+d} misses "
+            f"(informational)"
+        )
+    lines.append("")
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline BENCH_<run>.json")
@@ -100,8 +132,12 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_bench_snapshot(args.baseline)
-    current = load_bench_snapshot(args.current)
+    try:
+        baseline = load_bench_snapshot(args.baseline)
+        current = load_bench_snapshot(args.current)
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid bench snapshot: {exc}", file=sys.stderr)
+        return 2
     print(f"baseline: {baseline['run']}  (git {baseline['manifest'].get('git_sha')})")
     print(f"current:  {current['run']}  (git {current['manifest'].get('git_sha')})")
     lines, regressions = compare(

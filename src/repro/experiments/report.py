@@ -1,12 +1,28 @@
-"""ASCII rendering helpers for experiment results.
+"""Experiment rendering and paper-fidelity regression reports.
 
-The benchmark harness prints the same rows/series the paper's tables
-and figures report; these helpers keep the formatting consistent.
+Two layers live here:
+
+* ASCII rendering helpers (:func:`render_table`, :func:`render_series`,
+  :func:`render_stack`) shared by the experiment modules' ``render()``
+  methods;
+* the ``repro-report`` fidelity reporter: :func:`run_fidelity`
+  regenerates Figures 1, 2, 4, 6, 11, 12 and Table 1 at a configurable
+  budget, scores each paper claim against a tolerance band
+  (:class:`FigureCheck`), decomposes the headline configurations into
+  CPI stacks, folds in run-over-run trend deltas from ``BENCH_*.json``
+  perf snapshots, and renders the whole thing as markdown or a
+  self-contained HTML page.  CI runs it after the perf-smoke job and
+  fails on out-of-tolerance figures.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
@@ -51,3 +67,494 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+# ===================================================== fidelity reporting
+
+#: Default budget for a fidelity run — big enough that every band below
+#: holds, small enough for CI (seconds per benchmark, not minutes).
+FIDELITY_INSTRUCTIONS = 4_000
+FIDELITY_WARMUP = 1_000
+FIDELITY_BENCHMARKS: tuple[str, ...] = ("bzip", "li", "mcf")
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One claim from the paper with its acceptance band.
+
+    *lo*/*hi* bound the reproduced value (``None`` = unbounded on that
+    side); *paper* records what the paper itself reports, so the
+    report reads as "claim / our number / their number" per row.
+    """
+
+    figure: str
+    claim: str
+    lo: float | None
+    hi: float | None
+    paper: str
+
+    def band(self) -> str:
+        lo = "-inf" if self.lo is None else f"{self.lo:g}"
+        hi = "+inf" if self.hi is None else f"{self.hi:g}"
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class FigureCheck:
+    """A reproduced value scored against its :class:`PaperTarget`."""
+
+    target: PaperTarget
+    value: float
+
+    @property
+    def ok(self) -> bool:
+        t = self.target
+        if t.lo is not None and self.value < t.lo:
+            return False
+        if t.hi is not None and self.value > t.hi:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.target.figure,
+            "claim": self.target.claim,
+            "value": self.value,
+            "lo": self.target.lo,
+            "hi": self.target.hi,
+            "paper": self.target.paper,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class FidelityReport:
+    """One fidelity run: scored checks + CPI stacks + perf trend."""
+
+    run: str = "fidelity"
+    benchmarks: tuple[str, ...] = ()
+    instructions: int = 0
+    warmup: int = 0
+    checks: list[FigureCheck] = field(default_factory=list)
+    #: checked CPI stacks for the headline configurations.
+    stacks: list = field(default_factory=list)
+    #: chronological perf-snapshot trend rows (oldest first).
+    trend: list[dict] = field(default_factory=list)
+    #: non-fatal issues hit while collecting (bad snapshots etc.).
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> list[FigureCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "benchmarks": list(self.benchmarks),
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "ok": self.ok,
+            "checks": [c.to_dict() for c in self.checks],
+            "stacks": [s.to_dict() for s in self.stacks],
+            "trend": self.trend,
+            "warnings": list(self.warnings),
+        }
+
+    # ------------------------------------------------------------ markdown
+
+    def render_markdown(self) -> str:
+        from repro.obs.attribution import render_stacks
+
+        passed = len(self.checks) - len(self.failed)
+        lines = [
+            f"# Paper-fidelity report — `{self.run}`",
+            "",
+            f"Reproduction of *Exploiting Partial Operand Knowledge* "
+            f"(ICPP 2003) checked on benchmarks "
+            f"{', '.join(f'`{b}`' for b in self.benchmarks)} "
+            f"({self.instructions} measured instructions, "
+            f"{self.warmup} warmup).",
+            "",
+            f"**{passed}/{len(self.checks)} checks in tolerance**"
+            + ("" if self.ok else " — **FIDELITY REGRESSION**"),
+            "",
+            "| status | figure | claim | value | band | paper |",
+            "|--------|--------|-------|-------|------|-------|",
+        ]
+        for c in self.checks:
+            lines.append(
+                f"| {'PASS' if c.ok else '**FAIL**'} | {c.target.figure} "
+                f"| {c.target.claim} | {c.value:.4g} | {c.target.band()} "
+                f"| {c.target.paper} |"
+            )
+        if self.stacks:
+            lines += [
+                "",
+                "## CPI stacks",
+                "",
+                "Cycle attribution for the headline configurations "
+                "(components sum exactly to measured cycles; "
+                "see `docs/observability.md`).",
+                "",
+                "```",
+                render_stacks(self.stacks),
+                "```",
+            ]
+        if self.trend:
+            lines += [
+                "",
+                "## Perf-snapshot trend",
+                "",
+                "| run | mean IPC | ΔIPC | wall s | Δwall | cache hit rate |",
+                "|-----|----------|------|--------|-------|----------------|",
+            ]
+            prev = None
+            for row in self.trend:
+                d_ipc = d_wall = "—"
+                if prev is not None and prev["mean_ipc"] and row["mean_ipc"]:
+                    d_ipc = f"{row['mean_ipc'] / prev['mean_ipc'] - 1:+.1%}"
+                if prev is not None and prev["wall_seconds"]:
+                    d_wall = f"{row['wall_seconds'] / prev['wall_seconds'] - 1:+.1%}"
+                hit = "—" if row["cache_hit_rate"] is None else f"{row['cache_hit_rate']:.0%}"
+                lines.append(
+                    f"| {row['run']} | {row['mean_ipc']:.3f} | {d_ipc} "
+                    f"| {row['wall_seconds']:.2f} | {d_wall} | {hit} |"
+                )
+                prev = row
+        if self.warnings:
+            lines += ["", "## Warnings", ""]
+            lines += [f"- {w}" for w in self.warnings]
+        lines.append("")
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------------- html
+
+    def render_html(self) -> str:
+        from repro.obs.attribution import COMPONENT_KEYS, DESCRIPTIONS
+
+        palette = {
+            "base": "#4e79a7", "branch_recovery": "#e15759",
+            "ruu_stall": "#f28e2b", "lsq_stall": "#ffbe7d",
+            "lsd_wait": "#59a14f", "ptm_replay": "#b07aa1",
+            "memory": "#9c755f", "slice_wait": "#edc948",
+        }
+        passed = len(self.checks) - len(self.failed)
+        rows = []
+        for c in self.checks:
+            cls = "pass" if c.ok else "fail"
+            rows.append(
+                f"<tr class='{cls}'><td>{'PASS' if c.ok else 'FAIL'}</td>"
+                f"<td>{_esc(c.target.figure)}</td><td>{_esc(c.target.claim)}</td>"
+                f"<td>{c.value:.4g}</td><td>{_esc(c.target.band())}</td>"
+                f"<td>{_esc(c.target.paper)}</td></tr>"
+            )
+        bars = []
+        if self.stacks:
+            worst = max(s.total_cpi for s in self.stacks) or 1.0
+            for s in self.stacks:
+                label = f"{s.benchmark}/{s.config_name}" if s.benchmark else s.config_name
+                segs = []
+                for key in COMPONENT_KEYS:
+                    if not s.cycles or not s.components[key]:
+                        continue
+                    pct = 100.0 * (s.components[key] / s.cycles) * (s.total_cpi / worst)
+                    segs.append(
+                        f"<span class='seg' style='width:{pct:.2f}%;"
+                        f"background:{palette[key]}' title='{_esc(key)}: "
+                        f"{s.components[key]} cycles ({s.fraction(key):.1%}) — "
+                        f"{_esc(DESCRIPTIONS[key])}'></span>"
+                    )
+                bars.append(
+                    f"<div class='row'><div class='label'>{_esc(label)} "
+                    f"<small>CPI {s.total_cpi:.3f}</small></div>"
+                    f"<div class='bar'>{''.join(segs)}</div></div>"
+                )
+            legend = "".join(
+                f"<span class='key'><span class='swatch' "
+                f"style='background:{palette[k]}'></span>{_esc(k)}</span>"
+                for k in COMPONENT_KEYS
+            )
+            bars.append(f"<div class='legend'>{legend}</div>")
+        trend_rows = []
+        prev = None
+        for row in self.trend:
+            d_ipc = "—"
+            if prev is not None and prev["mean_ipc"] and row["mean_ipc"]:
+                d_ipc = f"{row['mean_ipc'] / prev['mean_ipc'] - 1:+.1%}"
+            hit = "—" if row["cache_hit_rate"] is None else f"{row['cache_hit_rate']:.0%}"
+            trend_rows.append(
+                f"<tr><td>{_esc(row['run'])}</td><td>{row['mean_ipc']:.3f}</td>"
+                f"<td>{d_ipc}</td><td>{row['wall_seconds']:.2f}</td><td>{hit}</td></tr>"
+            )
+            prev = row
+        warn_html = "".join(f"<li>{_esc(w)}</li>" for w in self.warnings)
+        return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Fidelity report — {_esc(self.run)}</title>
+<style>
+body {{ font: 14px/1.5 -apple-system, "Segoe UI", sans-serif; margin: 2em auto; max-width: 62em; color: #222; }}
+table {{ border-collapse: collapse; width: 100%; margin: 1em 0; }}
+th, td {{ border: 1px solid #ccc; padding: 4px 8px; text-align: left; }}
+tr.pass td:first-child {{ color: #2a7d2a; font-weight: bold; }}
+tr.fail td {{ background: #fde8e8; }}
+tr.fail td:first-child {{ color: #b01818; font-weight: bold; }}
+.verdict.ok {{ color: #2a7d2a; }} .verdict.bad {{ color: #b01818; }}
+.row {{ display: flex; align-items: center; margin: 3px 0; }}
+.label {{ width: 16em; flex: none; }}
+.bar {{ flex: 1; height: 18px; background: #f4f4f4; }}
+.seg {{ display: inline-block; height: 100%; }}
+.legend {{ margin-top: .6em; }} .key {{ margin-right: 1em; }}
+.swatch {{ display: inline-block; width: 10px; height: 10px; margin-right: 4px; }}
+</style></head><body>
+<h1>Paper-fidelity report — {_esc(self.run)}</h1>
+<p>Reproduction of <em>Exploiting Partial Operand Knowledge</em> (ICPP 2003)
+checked on {_esc(', '.join(self.benchmarks))}
+({self.instructions} measured instructions, {self.warmup} warmup).</p>
+<p class="verdict {'ok' if self.ok else 'bad'}"><strong>
+{passed}/{len(self.checks)} checks in tolerance{'' if self.ok else ' — FIDELITY REGRESSION'}
+</strong></p>
+<table><tr><th>status</th><th>figure</th><th>claim</th><th>value</th><th>band</th><th>paper</th></tr>
+{''.join(rows)}</table>
+<h2>CPI stacks</h2>
+<p>Cycle attribution for the headline configurations (bar length ∝ CPI;
+components sum exactly to measured cycles).</p>
+{''.join(bars) or '<p>(no stacks collected)</p>'}
+<h2>Perf-snapshot trend</h2>
+{'<table><tr><th>run</th><th>mean IPC</th><th>ΔIPC</th><th>wall s</th><th>cache hit rate</th></tr>' + ''.join(trend_rows) + '</table>' if trend_rows else '<p>(no snapshots found)</p>'}
+{'<h2>Warnings</h2><ul>' + warn_html + '</ul>' if warn_html else ''}
+</body></html>
+"""
+
+
+def _esc(text: object) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+# ------------------------------------------------------------- collection
+
+def _bench_trend(bench_dir: str | Path, warnings: list[str]) -> list[dict]:
+    """Chronological per-snapshot summary rows from ``BENCH_*.json``."""
+    from repro.obs.manifest import load_bench_snapshot
+
+    rows = []
+    directory = Path(bench_dir)
+    if not directory.is_dir():
+        return rows
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = load_bench_snapshot(path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            warnings.append(f"skipped invalid snapshot {path.name}: {exc}")
+            continue
+        ipcs: list[float] = []
+        for record in payload["benchmarks"].values():
+            ipc = record.get("ipc")
+            if isinstance(ipc, dict):
+                ipcs.extend(float(v) for v in ipc.values())
+            elif isinstance(ipc, (int, float)):
+                ipcs.append(float(ipc))
+        cache = payload["manifest"].get("trace_cache") or {}
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        rows.append(
+            {
+                "run": payload["run"],
+                "created_unix": payload["manifest"]["created_unix"],
+                "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else 0.0,
+                "wall_seconds": float(payload["totals"].get("wall_seconds", 0.0)),
+                "cache_hit_rate": hits / (hits + misses) if hits + misses else None,
+            }
+        )
+    rows.sort(key=lambda r: r["created_unix"])
+    return rows
+
+
+def run_fidelity(
+    benchmarks: tuple[str, ...] = FIDELITY_BENCHMARKS,
+    instructions: int = FIDELITY_INSTRUCTIONS,
+    warmup: int = FIDELITY_WARMUP,
+    slice_counts: tuple[int, ...] = (2, 4),
+    bench_dir: str | Path | None = None,
+    run_name: str = "fidelity",
+) -> FidelityReport:
+    """Regenerate the reproduced figures and score them against the paper.
+
+    Tolerance bands mirror ``benchmarks/test_*`` (the tier-2 suite) so a
+    figure that fails here would also fail there — this is the fast,
+    artifact-producing form of the same contract.
+    """
+    from repro.experiments import figure1, figure2, figure4, figure6, figure11, figure12, table1
+    from repro.memsys.partial_tag import PartialTagOutcome
+
+    report = FidelityReport(
+        run=run_name, benchmarks=tuple(benchmarks),
+        instructions=instructions, warmup=warmup,
+    )
+    checks = report.checks
+
+    def check(figure: str, claim: str, value: float,
+              lo: float | None, hi: float | None, paper: str) -> None:
+        checks.append(FigureCheck(PaperTarget(figure, claim, lo, hi, paper), value))
+
+    # Figure 11 drives Figure 12 and the CPI stacks, so run it first.
+    fig11 = figure11.run(benchmarks, instructions, slice_counts=slice_counts, warmup=warmup)
+    rel = {s: fig11.mean_relative_to_ideal(s) for s in slice_counts}
+    up = {s: fig11.mean_speedup_over_simple(s) for s in slice_counts}
+    check("Figure 11", "slice-by-2 IPC relative to ideal", rel[2], 0.93, 1.02,
+          "within ~1% of ideal")
+    check("Figure 11", "slice-by-4 IPC relative to ideal", rel[4], 0.80, 1.02,
+          "~82% of ideal")
+    check("Figure 11", "slice-by-2 speedup over simple pipelining", up[2], 0.03, None,
+          "~16% faster")
+    check("Figure 11", "slice-by-4 speedup exceeds slice-by-2", up[4] - up[2], 0.0, None,
+          "~44% vs ~16%")
+    worst_vs_ideal = max(
+        fig11.ipc(b, s) / fig11.ideal_ipc(b) for b in benchmarks for s in slice_counts
+    )
+    check("Figure 11", "bit-sliced IPC never beats ideal (worst ratio)",
+          worst_vs_ideal, None, 1.02, "bounded by the ideal machine")
+
+    fig12 = figure12.run(base=fig11)
+    contrib = {s: fig12.mean_new_technique_contribution(s) for s in slice_counts}
+    check("Figure 12", "new techniques add speedup beyond bypassing (slice-by-2)",
+          contrib[2], 0.0, None, "additional ~8%")
+    check("Figure 12", "contribution grows with slicing (by-4 minus by-2)",
+          contrib[4] - contrib[2], 0.0, None, "~13% vs ~8%")
+    worst_total = min(fig12.total_speedup(b, s) for b in benchmarks for s in slice_counts)
+    check("Figure 12", "every benchmark speeds up overall (worst total)",
+          worst_total, 1e-9, None, "all bars positive")
+
+    t1 = table1.run(benchmarks, instructions, warmup=warmup)
+    t1_rows = t1.rows()
+    check("Table 1", "IPC within plausible band (min)",
+          min(r.ipc for r in t1_rows), 0.2, 4.0, "0.9–2.6 at 4-wide")
+    check("Table 1", "IPC within plausible band (max)",
+          max(r.ipc for r in t1_rows), 0.2, 4.0, "0.9–2.6 at 4-wide")
+    check("Table 1", "load fraction (min)",
+          min(r.load_fraction for r in t1_rows), 0.03, 0.6, "19–34% loads")
+    check("Table 1", "branch accuracy (min)",
+          min(r.branch_accuracy for r in t1_rows), 0.6, 1.0, "86–96%")
+
+    fig1 = figure1.run()
+    check("Figure 1", "simple pipelining costs IPC (simple/ideal)",
+          fig1.ipcs["simple-pipe-2"] / fig1.ipcs["ideal"], None, 0.999,
+          "dependant waits full latency")
+    check("Figure 1", "bit-slicing recovers IPC (sliced/simple)",
+          fig1.ipcs["bitslice-2"] / fig1.ipcs["simple-pipe-2"], 1.0, None,
+          "overlapped dependants")
+    check("Figure 1", "dependence-chain span shrinks (simple - sliced)",
+          fig1.chain_span("simple-pipe-2") - fig1.chain_span("bitslice-2"),
+          0.0, None, "slices overlap the chain")
+
+    fig2 = figure2.run(benchmarks, instructions)
+    resolved15 = [fig2.resolved_by(b, 15) for b in benchmarks]
+    check("Figure 2", "loads disambiguated by bit 15 (mean)",
+          sum(resolved15) / len(resolved15), 0.90, 1.0, "~100% by bit 10")
+    resolved_full = [fig2.resolved_by(b, 31) for b in benchmarks]
+    check("Figure 2", "loads disambiguated at full width (min)",
+          min(resolved_full), 0.999, 1.0, "100% by construction")
+
+    fig4 = figure4.run(instructions=instructions, warmup=warmup)
+    full_multi = max(
+        char.fraction(char.config.tag_bits, PartialTagOutcome.MULTI)
+        for char in fig4.panels.values()
+    )
+    check("Figure 4", "full-width tags never multi-match (max)",
+          full_multi, 0.0, 0.0, "conventional compare")
+    probe_miss = max(
+        char.fraction(min(10, char.config.tag_bits), PartialTagOutcome.SINGLE_MISS)
+        for char in fig4.panels.values()
+    )
+    check("Figure 4", "false single matches at 10 tag bits (max)",
+          probe_miss, None, 0.15, "rare by ~10 bits")
+
+    fig6 = figure6.run(benchmarks, instructions, warmup=warmup)
+    check("Figure 6", "mispredicts detected from 1 bit (mean)",
+          fig6.mean_detected_at_1, 0.15, 1.0, "~28%")
+    check("Figure 6", "mispredicts detected from 8 bits (mean)",
+          fig6.mean_detected_at_8, 0.30, 1.0, "majority by 8 bits")
+    check("Figure 6 (§5.3)", "beq/bne share of dynamic branches (mean)",
+          fig6.mean_eq_branch_fraction, 0.45, 1.0, "~61%")
+    check("Figure 6 (§5.3)", "beq/bne share of mispredictions (mean)",
+          fig6.mean_eq_mispredict_fraction, 0.35, 1.0, "~48%")
+
+    # CPI stacks for the headline configurations, invariant-checked.
+    for name in benchmarks:
+        report.stacks.append(fig11.ideal[name].cpi_stack(benchmark=name))
+        for s in slice_counts:
+            ladder = fig11.ladder[(name, s)]
+            report.stacks.append(ladder[0].cpi_stack(benchmark=name))
+            report.stacks.append(ladder[-1].cpi_stack(benchmark=name))
+
+    if bench_dir is not None:
+        report.trend = _bench_trend(bench_dir, report.warnings)
+    return report
+
+
+# -------------------------------------------------------------------- CLI
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro-report``: paper-fidelity regression report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Score the reproduced figures against the paper's claims "
+        "and render a fidelity report (markdown to stdout by default).",
+    )
+    parser.add_argument("-b", "--benchmarks", nargs="+", default=list(FIDELITY_BENCHMARKS),
+                        help="benchmarks to run (default: %(default)s)")
+    parser.add_argument("-n", "--instructions", type=int, default=FIDELITY_INSTRUCTIONS,
+                        help="measured instructions per benchmark (default: %(default)s)")
+    parser.add_argument("--warmup", type=int, default=FIDELITY_WARMUP,
+                        help="warmup instructions (default: %(default)s)")
+    parser.add_argument("--run-name", default="fidelity", help="label for the report header")
+    parser.add_argument("--bench-dir", default="benchmarks",
+                        help="directory scanned for BENCH_*.json trend snapshots "
+                        "(default: %(default)s)")
+    parser.add_argument("--out-md", metavar="PATH",
+                        help="also write the markdown report to PATH")
+    parser.add_argument("--out-html", metavar="PATH",
+                        help="also write a self-contained HTML report to PATH")
+    parser.add_argument("--out-json", metavar="PATH",
+                        help="also write the raw check data as JSON to PATH")
+    parser.add_argument("--quiet", action="store_true", help="suppress stdout markdown")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="exit 0 even when checks are out of tolerance")
+    args = parser.parse_args(argv)
+
+    report = run_fidelity(
+        benchmarks=tuple(args.benchmarks),
+        instructions=args.instructions,
+        warmup=args.warmup,
+        bench_dir=args.bench_dir,
+        run_name=args.run_name,
+    )
+    markdown = report.render_markdown()
+    if not args.quiet:
+        print(markdown)
+    if args.out_md:
+        Path(args.out_md).write_text(markdown)
+    if args.out_html:
+        Path(args.out_html).write_text(report.render_html())
+    if args.out_json:
+        Path(args.out_json).write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    if not report.ok:
+        for c in report.failed:
+            print(
+                f"FAIL {c.target.figure}: {c.target.claim} = {c.value:.4g} "
+                f"outside {c.target.band()}",
+                file=sys.stderr,
+            )
+        if not args.no_fail:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

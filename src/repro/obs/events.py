@@ -11,7 +11,7 @@ stream backs three consumers:
 * Chrome trace-event format (:func:`write_chrome_trace`), loadable in
   Perfetto / ``chrome://tracing``: instruction lifetimes as duration
   slices, anomalies (replays, way mispredicts, early releases) as
-  instant events.
+  instant events, and periodic CPI-stack samples as counter tracks.
 """
 
 from __future__ import annotations
@@ -31,8 +31,14 @@ COMMIT = "commit"
 REPLAY = "replay"
 EARLY_RELEASE = "early_release"
 WAY_MISPREDICT = "way_mispredict"
+#: Periodic cumulative CPI-stack sample (args: component → cycles);
+#: rendered as a Perfetto counter track.
+CPI_SAMPLE = "cpi_sample"
 
-EVENT_KINDS = (FETCH, DISPATCH, SLICE_COMPLETE, COMMIT, REPLAY, EARLY_RELEASE, WAY_MISPREDICT)
+EVENT_KINDS = (
+    FETCH, DISPATCH, SLICE_COMPLETE, COMMIT, REPLAY, EARLY_RELEASE, WAY_MISPREDICT,
+    CPI_SAMPLE,
+)
 
 #: JSONL schema: required fields and their types, optional args mapping.
 EVENT_SCHEMA = {
@@ -158,8 +164,10 @@ def to_chrome_trace(events: Iterable[CycleEvent], lanes: int = 16) -> dict:
     Instruction lifetimes (fetch → commit) become ``"X"`` duration
     slices named by mnemonic, spread over *lanes* virtual threads so
     overlapping instructions render as parallel tracks (the paper's
-    Figure 1 view); anomaly events become ``"i"`` instants.  One
-    simulated cycle maps to one microsecond of trace time.
+    Figure 1 view); anomaly events become ``"i"`` instants; CPI-stack
+    samples become a ``"C"`` counter track (one series per attribution
+    component).  One simulated cycle maps to one microsecond of trace
+    time.
     """
     fetches: dict[int, CycleEvent] = {}
     trace_events: list[dict] = []
@@ -180,6 +188,17 @@ def to_chrome_trace(events: Iterable[CycleEvent], lanes: int = 16) -> dict:
                     "pid": 1,
                     "tid": 1 + (e.seq % lanes),
                     "args": {"seq": e.seq, "pc": e.pc, **e.args},
+                }
+            )
+        elif e.kind == CPI_SAMPLE:
+            trace_events.append(
+                {
+                    "name": "cpi_stack",
+                    "cat": "attribution",
+                    "ph": "C",
+                    "ts": e.cycle,
+                    "pid": 1,
+                    "args": dict(e.args),
                 }
             )
         elif e.kind in (REPLAY, EARLY_RELEASE, WAY_MISPREDICT):
@@ -211,6 +230,7 @@ def write_chrome_trace(events: Iterable[CycleEvent], path: str | Path, lanes: in
 
 __all__ = [
     "COMMIT",
+    "CPI_SAMPLE",
     "CycleEvent",
     "DEFAULT_CAPACITY",
     "DISPATCH",

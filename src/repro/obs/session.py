@@ -157,9 +157,20 @@ class ObsSession:
             self.registry.counter("obs.events.emitted", help="cycle events emitted").inc(
                 self.events.emitted
             )
+            dropped = self.events.dropped
             self.registry.counter("obs.events.dropped", help="events evicted by ring bound").inc(
-                self.events.dropped
+                dropped
             )
+            if dropped:
+                print(
+                    f"[obs] warning: event ring dropped {dropped} of "
+                    f"{self.events.emitted} events (capacity "
+                    f"{self.events.capacity}); exported traces cover only "
+                    f"the most recent window — raise the capacity for a "
+                    f"complete trace",
+                    file=self.stream,
+                    flush=True,
+                )
         return self.registry
 
 

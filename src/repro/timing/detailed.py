@@ -49,6 +49,7 @@ class _Entry:
     issued_at: int = -1
     complete_at: int = -1            # writeback cycle (results bypassable)
     addr_ready_at: int = -1          # memory ops: agen done
+    l1_miss: bool = False            # loads: paid latency beyond L1
     committed: bool = False
 
     @property
@@ -67,9 +68,32 @@ class DetailedStats:
     branch_mispredicts: int = 0
     store_forwards: int = 0
 
+    # CPI-stack attribution: the cycle loop classifies every cycle into
+    # exactly one bucket (same taxonomy as the timestamp model's
+    # repro.obs.attribution waterfall), so these sum to ``cycles`` by
+    # construction.  Occupancy stalls are folded into the root cause
+    # blocking the oldest in-flight instruction, so the ruu/lsq/ptm
+    # components stay zero here (those mechanisms are either implicit
+    # or out of the reference model's scope).
+    cpi_branch_recovery: int = 0
+    cpi_ruu_stall: int = 0
+    cpi_lsq_stall: int = 0
+    cpi_lsd_wait: int = 0
+    cpi_ptm_replay: int = 0
+    cpi_memory: int = 0
+    cpi_slice_wait: int = 0
+    cpi_base: int = 0
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    def cpi_stack(self, benchmark: str = ""):
+        """This run's cycle decomposition as a checked
+        :class:`repro.obs.attribution.CPIStack`."""
+        from repro.obs.attribution import CPIStack
+
+        return CPIStack.from_stats(self, benchmark=benchmark).check()
 
 
 class DetailedSimulator:
@@ -291,6 +315,7 @@ class DetailedSimulator:
                     else:
                         result = self.hierarchy.access_data(record.mem_addr)
                         extra = 0 if result.l1_hit else cfg.replay_penalty
+                        entry.l1_miss = not result.l1_hit
                         entry.complete_at = agen_done + result.latency + extra
                     self._publish(entry, cycle, whole_at=entry.complete_at)
                 elif entry.klass is OpClass.STORE:
@@ -358,11 +383,83 @@ class DetailedSimulator:
                     if outcome.predicted_taken:
                         break
 
+            self._account_cycle(commits, cycle, fetch_blocked_until, waiting_branch, line_ready)
             cycle += 1
 
         self.stats.instructions = committed
         self.stats.cycles = cycle
         return self.stats
+
+    # ------------------------------------------------------- CPI accounting
+
+    #: Classes whose extra latency under slicing is the slice chain.
+    _SLICEABLE = frozenset(
+        {OpClass.LOGIC, OpClass.ARITH, OpClass.ZERO_TEST,
+         OpClass.SHIFT_LEFT, OpClass.SHIFT_RIGHT, OpClass.COMPARE}
+    )
+
+    def _account_cycle(
+        self,
+        commits: int,
+        cycle: int,
+        fetch_blocked_until: int,
+        waiting_branch: _Entry | None,
+        line_ready: int,
+    ) -> None:
+        """Attribute this cycle to exactly one CPI-stack component.
+
+        A committing cycle is base progress.  A zero-commit cycle is
+        blamed on whatever blocks the oldest instruction still
+        executing: mispredict redirects, I-/D-side memory latency,
+        store-address disambiguation, the slice chain, or (residually)
+        pipeline fill and execution latency.  One increment per cycle
+        keeps the components summing to ``cycles`` exactly.
+        """
+        stats = self.stats
+        if commits:
+            stats.cpi_base += 1
+            return
+        if not self.rob:
+            # Empty window: the front end is the bottleneck.
+            if waiting_branch is not None or cycle < fetch_blocked_until:
+                stats.cpi_branch_recovery += 1
+            elif line_ready > cycle:
+                stats.cpi_memory += 1
+            else:
+                stats.cpi_base += 1
+            return
+        oldest = None
+        for entry in self.rob:
+            if entry.complete_at < 0 or entry.complete_at > cycle:
+                oldest = entry
+                break
+        if oldest is None:
+            stats.cpi_base += 1  # retire-stage drain
+            return
+        if oldest.issued_at >= 0:
+            if oldest.l1_miss:
+                stats.cpi_memory += 1
+            elif self.sliced and oldest.klass in self._SLICEABLE:
+                stats.cpi_slice_wait += 1
+            else:
+                stats.cpi_base += 1
+            return
+        if oldest.schedulable_at > cycle:
+            stats.cpi_base += 1  # frontend depth
+            return
+        if oldest.klass is OpClass.LOAD:
+            for older in self.rob:
+                if older.seq >= oldest.seq:
+                    break
+                if older.klass is OpClass.STORE and (
+                    older.addr_ready_at < 0 or older.addr_ready_at > cycle
+                ):
+                    stats.cpi_lsd_wait += 1
+                    return
+        if self.sliced:
+            stats.cpi_slice_wait += 1
+        else:
+            stats.cpi_base += 1
 
 
 def simulate_detailed(

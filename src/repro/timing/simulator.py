@@ -35,8 +35,10 @@ from repro.isa.opclass import OpClass, op_class
 from repro.isa.registers import HI, LO, NUM_EXT_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.partial_tag import partial_tag_lookup
+from repro.obs.attribution import attribute_delta
 from repro.obs.events import (
     COMMIT,
+    CPI_SAMPLE,
     DISPATCH,
     EARLY_RELEASE,
     FETCH,
@@ -49,6 +51,10 @@ from repro.timing.resources import BandwidthPool, ExclusiveUnit
 from repro.timing.stats import SimStats
 
 _NEG_INF = -1
+
+#: Commit-count stride between ``cpi_sample`` events (Perfetto counter
+#: track granularity vs. event-stream volume).
+CPI_SAMPLE_INTERVAL = 64
 
 
 class _StoreEntry:
@@ -137,6 +143,16 @@ class TimingSimulator:
         tag_shift = self.hierarchy.l1d.config.tag_shift
         self.index_ready_slice = (tag_shift + self.slice_bits - 1) // self.slice_bits - 1
         self.first_commit = None
+        # CPI attribution: per-instruction stall claims, recorded while
+        # the instruction schedules and settled against its
+        # commit-to-commit delta by the waterfall (repro.obs.attribution).
+        self._claim_branch = 0
+        self._claim_ruu = 0
+        self._claim_lsq = 0
+        self._claim_lsd = 0
+        self._claim_ptm = 0
+        self._claim_mem = 0
+        self._claim_slice = 0
 
     @property
     def timeline(self):
@@ -155,6 +171,10 @@ class TimingSimulator:
     def _fetch(self, record: TraceRecord, is_mem: bool) -> int:
         cfg = self.config
         earliest = self.redirect_at
+        if earliest > self.fetch_cycle:
+            # Fetch is still blocked on a mispredicted control's
+            # resolution (possibly an early §5.3 one): recovery claim.
+            self._claim_branch = earliest - self.fetch_cycle
         # RUU occupancy: dispatch slot frees when the (i - ruu)th commits.
         if len(self.commit_ring) >= cfg.ruu_size:
             free_at = self.commit_ring[0] - cfg.dispatch_stage
@@ -162,6 +182,7 @@ class TimingSimulator:
                 stall = free_at - max(earliest, self.fetch_cycle)
                 if stall > 0:
                     self.stats.ruu_stall_cycles += stall
+                    self._claim_ruu = stall
                 earliest = free_at
         if is_mem and len(self.mem_commit_ring) >= cfg.lsq_size:
             free_at = self.mem_commit_ring[0] - cfg.dispatch_stage
@@ -169,6 +190,7 @@ class TimingSimulator:
                 stall = free_at - max(earliest, self.fetch_cycle)
                 if stall > 0:
                     self.stats.lsq_stall_cycles += stall
+                    self._claim_lsq = stall
                 earliest = free_at
         if earliest > self.fetch_cycle:
             self.fetch_cycle = earliest
@@ -183,6 +205,7 @@ class TimingSimulator:
             result = self.hierarchy.access_instruction(record.pc)
             self.line_ready_at = self.fetch_cycle + (result.latency - self.hierarchy.l1_latency)
         if self.line_ready_at > self.fetch_cycle:
+            self._claim_mem += self.line_ready_at - self.fetch_cycle
             self.fetch_cycle = self.line_ready_at
             self.fetched_this_cycle = 0
         self.fetched_this_cycle += 1
@@ -237,6 +260,7 @@ class TimingSimulator:
         complete = [0] * S
         order = range(S - 1, -1, -1) if klass is OpClass.SHIFT_RIGHT else range(S)
         prev_start = _NEG_INF
+        first_start = _NEG_INF
         for k in order:
             # Input slices needed by slice k.
             if klass in (OpClass.LOGIC, OpClass.ZERO_TEST, OpClass.ARITH):
@@ -256,8 +280,14 @@ class TimingSimulator:
             if not self.ooo_slices and prev_start != _NEG_INF:
                 ready = max(ready, prev_start + 1)
             start = self.issue_pools[k].reserve(max(earliest, ready))
+            if first_start == _NEG_INF:
+                first_start = start
             prev_start = start
             complete[k] = start + 1
+        # Inter-slice wait claim: cycles the full result took beyond a
+        # one-cycle EX starting when the first slice could (the Figure 8
+        # carry/shift chain plus waits on producers' late high slices).
+        self._claim_slice += max(complete) - first_start - 1
         return complete
 
     # ----------------------------------------------------------------- loads
@@ -342,6 +372,7 @@ class TimingSimulator:
                     stats.extra.get("spec_forward_mispredicts", 0) + 1
                 )
                 release = max(release, a_full) + cfg.replay_penalty
+                self._claim_lsd += cfg.replay_penalty
                 if self.events is not None:
                     self.events.emit(
                         REPLAY, release, self.seq, record.pc, {"reason": "spec_forward"}
@@ -355,6 +386,8 @@ class TimingSimulator:
                 # §5.2: the array decoder computes base+offset itself,
                 # removing the adder cycle from the index path.
                 index_ready -= 1
+            if release > index_ready:
+                self._claim_lsd += release - index_ready
             access_start = max(index_ready, release)
             bits_avail = (self.index_ready_slice + 1) * self.slice_bits
             tag_bits = bits_avail - self.hierarchy.l1d.config.tag_shift
@@ -369,6 +402,7 @@ class TimingSimulator:
                 # Way mispredicted: verified against the full tag, the
                 # access repeats and mis-scheduled consumers replay.
                 stats.ptm_way_mispredicts += 1
+                self._claim_ptm += cfg.l1_latency + cfg.replay_penalty
                 if self.events is not None:
                     self.events.emit(
                         WAY_MISPREDICT,
@@ -380,6 +414,7 @@ class TimingSimulator:
                 return max(a_full, access_start + cfg.l1_latency) + cfg.l1_latency + cfg.replay_penalty
             stats.l1d_misses += 1
             stats.load_replays += 1
+            self._claim_mem += (result.latency - cfg.l1_latency) + cfg.replay_penalty
             if self.events is not None:
                 self.events.emit(
                     REPLAY, access_start + result.latency, self.seq, record.pc,
@@ -395,6 +430,8 @@ class TimingSimulator:
             return max(a_full, access_start) + result.latency + cfg.replay_penalty
 
         index_time = a_full - 1 if self.sum_addressed else a_full
+        if release > index_time:
+            self._claim_lsd += release - index_time
         access_start = max(index_time, release)
         result = self.hierarchy.access_data(addr)
         if result.l1_hit:
@@ -402,6 +439,7 @@ class TimingSimulator:
             return access_start + result.latency
         stats.l1d_misses += 1
         stats.load_replays += 1
+        self._claim_mem += (result.latency - cfg.l1_latency) + cfg.replay_penalty
         if self.events is not None:
             self.events.emit(
                 REPLAY, access_start + result.latency, self.seq, record.pc,
@@ -448,6 +486,9 @@ class TimingSimulator:
                 fresh = SimStats(config_name=cfg.name)
                 self.stats = stats = fresh
             self.seq += 1
+            # CPI attribution: fresh stall claims for this instruction.
+            self._claim_branch = self._claim_ruu = self._claim_lsq = 0
+            self._claim_lsd = self._claim_ptm = self._claim_mem = self._claim_slice = 0
             inst = record.inst
             m = inst.mnemonic
             klass = op_class(m)
@@ -565,6 +606,28 @@ class TimingSimulator:
             commit = self.commit_pool.reserve(commit)
             if commit < self.last_commit:  # pragma: no cover - pool is monotonic here
                 commit = self.last_commit
+            # CPI attribution: the commit-to-commit delta is this
+            # instruction's share of total cycles; settle it against the
+            # claims recorded while it scheduled (waterfall order), the
+            # unclaimed remainder being base progress.
+            delta = commit - self.last_commit
+            if delta:
+                if (
+                    self._claim_branch | self._claim_ruu | self._claim_lsq
+                    | self._claim_lsd | self._claim_ptm | self._claim_mem
+                    | self._claim_slice
+                ):
+                    attribute_delta(
+                        stats,
+                        delta,
+                        (
+                            self._claim_branch, self._claim_ruu, self._claim_lsq,
+                            self._claim_lsd, self._claim_ptm, self._claim_mem,
+                            self._claim_slice,
+                        ),
+                    )
+                else:
+                    stats.cpi_base += delta
             self.last_commit = commit
             if self.first_commit is None:
                 self.first_commit = commit
@@ -605,9 +668,43 @@ class TimingSimulator:
                     COMMIT, commit, seq, pc,
                     {"complete": complete, "mispredicted": mispredicted},
                 )
+                if seq % CPI_SAMPLE_INTERVAL == 0:
+                    # Cumulative component counts as a Perfetto counter
+                    # track: slopes show where cycles are going.
+                    ev.emit(
+                        CPI_SAMPLE, commit, seq, pc,
+                        {
+                            "base": stats.cpi_base,
+                            "branch_recovery": stats.cpi_branch_recovery,
+                            "ruu_stall": stats.cpi_ruu_stall,
+                            "lsq_stall": stats.cpi_lsq_stall,
+                            "lsd_wait": stats.cpi_lsd_wait,
+                            "ptm_replay": stats.cpi_ptm_replay,
+                            "memory": stats.cpi_memory,
+                            "slice_wait": stats.cpi_slice_wait,
+                        },
+                    )
 
         stats.instructions = max(0, count - warmup)
         stats.cycles = max(1, self.last_commit - warm_commit) if stats.instructions else 0
+        # The per-delta sums telescope to (last_commit - warm_commit);
+        # the only shortfall against the reported `cycles` is the
+        # max(1, ...) floor on degenerate windows.  Close it so the
+        # stack's exact-sum invariant holds unconditionally.
+        if stats.instructions:
+            attributed = (
+                stats.cpi_base + stats.cpi_branch_recovery + stats.cpi_ruu_stall
+                + stats.cpi_lsq_stall + stats.cpi_lsd_wait + stats.cpi_ptm_replay
+                + stats.cpi_memory + stats.cpi_slice_wait
+            )
+            if attributed < stats.cycles:
+                stats.cpi_base += stats.cycles - attributed
+        else:
+            # Empty measured window (e.g. trace shorter than warmup):
+            # cycles is 0, so the stack must be empty too.
+            stats.cpi_base = stats.cpi_branch_recovery = stats.cpi_ruu_stall = 0
+            stats.cpi_lsq_stall = stats.cpi_lsd_wait = stats.cpi_ptm_replay = 0
+            stats.cpi_memory = stats.cpi_slice_wait = 0
         return stats
 
     # ----------------------------------------------------------- sub-models
@@ -660,6 +757,17 @@ class TimingSimulator:
                             resolve = per_slice[diff_slices[0]]
                         if resolve < complete:
                             self.stats.early_resolved_mispredicts += 1
+                            # §5.3 savings: cycles of recovery the early
+                            # resolution avoided.  The branch_recovery
+                            # component is *net* of these by
+                            # construction (the redirect claim starts at
+                            # the early resolve time); reported so the
+                            # gross cost is reconstructible.
+                            extra = self.stats.extra
+                            extra["early_branch_saved_cycles"] = (
+                                extra.get("early_branch_saved_cycles", 0)
+                                + (complete - resolve)
+                            )
             return resolve, complete
         if self.sliced:
             # Sign-testing branches compare via a sliced subtraction;

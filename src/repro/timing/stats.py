@@ -41,11 +41,27 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "store_forwards": ("sim.lsd.store_forwards", "loads forwarded from an older store"),
     "ruu_stall_cycles": ("sim.stall.ruu_cycles", "fetch cycles lost to RUU occupancy"),
     "lsq_stall_cycles": ("sim.stall.lsq_cycles", "fetch cycles lost to LSQ occupancy"),
+    # CPI-stack attribution (repro.obs.attribution): every measured
+    # cycle lands in exactly one of these, so they sum to `cycles`.
+    "cpi_branch_recovery": (
+        "sim.cpi.branch_recovery",
+        "cycles attributed to mispredict recovery (net of §5.3 early resolution)"),
+    "cpi_ruu_stall": ("sim.cpi.ruu_stall", "cycles attributed to RUU occupancy stalls"),
+    "cpi_lsq_stall": ("sim.cpi.lsq_stall", "cycles attributed to LSQ occupancy stalls"),
+    "cpi_lsd_wait": (
+        "sim.cpi.lsd_wait", "cycles attributed to load-store disambiguation waits (§5.1)"),
+    "cpi_ptm_replay": (
+        "sim.cpi.ptm_replay", "cycles attributed to way-mispredict verify + replay (§5.2)"),
+    "cpi_memory": ("sim.cpi.memory", "cycles attributed to cache/memory latency beyond L1"),
+    "cpi_slice_wait": (
+        "sim.cpi.slice_wait", "cycles attributed to inter-slice carry/shift chains"),
+    "cpi_base": ("sim.cpi.base", "cycles attributed to base issue/bandwidth progress"),
 }
 
 #: derived-rate name → description (computed, never stored).
 DERIVED_CATALOG: dict[str, str] = {
     "ipc": "committed instructions per cycle",
+    "cpi": "cycles per committed instruction",
     "load_fraction": "loads / instructions",
     "branch_accuracy": "conditional-branch direction accuracy (Table 1)",
     "ptm_way_mispredict_rate": "fraction of PTM accesses with a wrong way prediction",
@@ -83,12 +99,36 @@ class SimStats:
     ruu_stall_cycles: int = 0
     lsq_stall_cycles: int = 0
 
+    # CPI-stack attribution (see repro.obs.attribution): components of
+    # `cycles`, maintained by the simulator's commit-time waterfall so
+    # they always sum exactly to the measured cycle count.
+    cpi_branch_recovery: int = 0
+    cpi_ruu_stall: int = 0
+    cpi_lsq_stall: int = 0
+    cpi_lsd_wait: int = 0
+    cpi_ptm_replay: int = 0
+    cpi_memory: int = 0
+    cpi_slice_wait: int = 0
+    cpi_base: int = 0
+
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
         """Committed instructions per cycle."""
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction (the stack's total height)."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def cpi_stack(self, benchmark: str = ""):
+        """This run's cycle decomposition as a checked
+        :class:`repro.obs.attribution.CPIStack`."""
+        from repro.obs.attribution import CPIStack
+
+        return CPIStack.from_stats(self, benchmark=benchmark).check()
 
     @property
     def load_fraction(self) -> float:
@@ -186,6 +226,16 @@ class SimStats:
             f"LSD early release : {self.lsd_early_releases} of {self.lsd_searches} searches",
             f"store forwards    : {self.store_forwards}",
         ]
+        if self.instructions and self.cycles:
+            from repro.obs.attribution import STAT_FIELDS
+
+            parts = [
+                f"{key} {getattr(self, fld) / self.cycles:.1%}"
+                for key, fld in STAT_FIELDS.items()
+                if getattr(self, fld)
+            ]
+            if parts:
+                lines.append(f"CPI stack         : {self.cpi:.3f} = " + ", ".join(parts))
         return "\n".join(lines)
 
 

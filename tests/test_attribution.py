@@ -1,0 +1,269 @@
+"""CPI-stack attribution: the exact-sum invariant and its plumbing.
+
+The tentpole property: for ANY trace, ANY configuration, and ANY
+measurement window, the ``sim.cpi.*`` components sum exactly to
+``sim.cycles`` — checked here by hypothesis over random programs ×
+configurations, by direct runs of every benchmark × the full technique
+ladder, and on the cycle-loop reference model.  The waterfall helper,
+the ``CPIStack`` container (merge commutativity, metrics-dump round
+trip) and the rendering are covered alongside.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    baseline_config,
+    bitslice_config,
+    cumulative_configs,
+    simple_pipeline_config,
+)
+from repro.emulator.machine import Machine
+from repro.isa.assembler import assemble
+from repro.obs.attribution import (
+    COMPONENT_KEYS,
+    CPI_COMPONENTS,
+    AttributionError,
+    CPIStack,
+    attribute_delta,
+    render_stacks,
+    stack_bar,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.timing.simulator import simulate
+from repro.timing.stats import SimStats
+from repro.workloads import get_workload
+
+from tests.test_differential import straight_line_program
+
+
+def _configs():
+    out = [
+        baseline_config(),
+        simple_pipeline_config(2),
+        simple_pipeline_config(4),
+        bitslice_config(2),
+        bitslice_config(4),
+    ]
+    for s in (2, 4):
+        out.extend(cfg for _, cfg in cumulative_configs(s))
+    return out
+
+
+CONFIGS = _configs()
+
+
+def assert_stack_ok(stats, benchmark=""):
+    stack = stats.cpi_stack(benchmark=benchmark)  # .check() inside
+    assert stack.total == stats.cycles
+    assert all(v >= 0 for v in stack.components.values())
+    return stack
+
+
+# ------------------------------------------------------------- waterfall
+
+
+def test_attribute_delta_waterfall_clamps_in_priority_order():
+    stats = SimStats()
+    # delta 10: branch claims 4, ruu claims 100 (clamped to 6), rest starved.
+    attribute_delta(stats, 10, (4, 100, 5, 5, 5, 5, 5))
+    assert stats.cpi_branch_recovery == 4
+    assert stats.cpi_ruu_stall == 6
+    assert stats.cpi_lsq_stall == 0
+    assert stats.cpi_base == 0
+
+
+def test_attribute_delta_remainder_goes_to_base():
+    stats = SimStats()
+    attribute_delta(stats, 10, (2, 0, 0, 1, 0, 3, 0))
+    assert stats.cpi_branch_recovery == 2
+    assert stats.cpi_lsd_wait == 1
+    assert stats.cpi_memory == 3
+    assert stats.cpi_base == 4
+    total = sum(getattr(stats, fld) for _, fld, _, _ in CPI_COMPONENTS)
+    assert total == 10
+
+
+def test_attribute_delta_ignores_negative_claims():
+    stats = SimStats()
+    attribute_delta(stats, 5, (-3, 0, 0, 0, 0, 0, 0))
+    assert stats.cpi_branch_recovery == 0
+    assert stats.cpi_base == 5
+
+
+@given(
+    st.integers(0, 200),
+    st.tuples(*[st.integers(-5, 60)] * 7),
+)
+@settings(max_examples=200, deadline=None)
+def test_attribute_delta_always_sums_to_delta(delta, claims):
+    stats = SimStats()
+    attribute_delta(stats, delta, claims)
+    total = sum(getattr(stats, fld) for _, fld, _, _ in CPI_COMPONENTS)
+    assert total == delta
+    assert all(getattr(stats, fld) >= 0 for _, fld, _, _ in CPI_COMPONENTS)
+
+
+# ------------------------------------------------- the simulator invariant
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_invariant_on_benchmark_windows(config):
+    trace = tuple(get_workload("li").trace(max_steps=4_000, iters=1, skip=0))
+    stats = simulate(config, trace, max_instructions=3_000, warmup=800)
+    stack = assert_stack_ok(stats, benchmark="li")
+    assert stack.instructions == 3_000
+
+
+@pytest.mark.parametrize("name", ("bzip", "mcf", "vortex"))
+def test_invariant_across_benchmarks(name):
+    trace = tuple(get_workload(name).trace(max_steps=3_000, iters=1, skip=0))
+    for config in (baseline_config(), bitslice_config(2), bitslice_config(4)):
+        assert_stack_ok(simulate(config, trace, warmup=500), benchmark=name)
+
+
+@given(straight_line_program(), st.sampled_from(CONFIGS), st.integers(0, 40))
+@settings(max_examples=40, deadline=None)
+def test_invariant_on_random_programs(program, config, warmup):
+    source, _ = program
+    trace = tuple(Machine(assemble(source)).trace(10_000))
+    stats = simulate(config, trace, warmup=warmup)
+    assert_stack_ok(stats)
+
+
+def test_warmup_longer_than_trace_yields_empty_stack():
+    trace = tuple(get_workload("li").trace(max_steps=50, iters=1, skip=0))
+    stats = simulate(baseline_config(), trace, warmup=10_000)
+    assert stats.instructions == 0
+    stack = assert_stack_ok(stats)
+    assert stack.total == 0
+
+
+def test_merged_stats_preserve_invariant():
+    trace = tuple(get_workload("li").trace(max_steps=2_000, iters=1, skip=0))
+    cfg = bitslice_config(2)
+    a = simulate(cfg, trace, warmup=200)
+    b = simulate(cfg, trace, warmup=700)
+    assert_stack_ok(a.merge(b))
+
+
+# --------------------------------------------------- detailed (reference)
+
+
+def test_detailed_model_invariant():
+    import dataclasses
+
+    from repro.core.config import Features
+    from repro.timing.detailed import simulate_detailed
+
+    basic2 = dataclasses.replace(
+        bitslice_config(2), features=Features(partial_operand_bypassing=True), name="basic-2"
+    )
+    trace = tuple(get_workload("mcf").trace(max_steps=2_500, iters=1, skip=0))
+    for config in (baseline_config(), simple_pipeline_config(2), basic2):
+        stats = simulate_detailed(config, trace, max_instructions=2_000)
+        stack = stats.cpi_stack(benchmark="mcf")
+        assert stack.total == stats.cycles
+        assert stack.components["base"] > 0
+    sliced_stats = simulate_detailed(basic2, trace, max_instructions=2_000)
+    assert sliced_stats.cpi_stack().components["slice_wait"] > 0
+
+
+# ------------------------------------------------------------ containers
+
+
+def test_check_raises_with_diagnostic():
+    stack = CPIStack(config_name="ideal", benchmark="li", cycles=10,
+                     components={"base": 6})
+    with pytest.raises(AttributionError, match=r"li.*sums to 6.*cycles=10"):
+        stack.check()
+
+
+def test_all_components_always_present():
+    stack = CPIStack(cycles=0)
+    assert set(stack.components) == set(COMPONENT_KEYS)
+
+
+def test_merge_is_commutative_and_checked():
+    a = CPIStack(config_name="x", benchmark="li", instructions=10, cycles=7,
+                 components={"base": 5, "memory": 2})
+    b = CPIStack(config_name="x", benchmark="li", instructions=20, cycles=9,
+                 components={"base": 4, "slice_wait": 5})
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.components == ba.components
+    assert ab.cycles == ba.cycles == 16
+    ab.check()
+
+
+def test_metrics_dump_round_trip():
+    trace = tuple(get_workload("li").trace(max_steps=2_000, iters=1, skip=0))
+    stats = simulate(bitslice_config(2), trace, warmup=300)
+    registry = MetricsRegistry()
+    stats.publish(registry)
+    dump = json.loads(json.dumps(registry.to_dict()))
+    stack = CPIStack.from_metrics_dump(dump, config_name="bitslice-2").check()
+    assert stack.cycles == stats.cycles
+    assert stack.components == stats.cpi_stack().components
+
+
+def test_metrics_dump_without_attribution_rejected():
+    with pytest.raises(ValueError, match="no sim.cpi"):
+        CPIStack.from_metrics_dump({"metrics": {"sim.cycles": {"value": 5}}})
+
+
+# ------------------------------------------------------------- rendering
+
+
+def test_stack_bar_width_and_glyphs():
+    stack = CPIStack(instructions=100, cycles=100,
+                     components={"base": 50, "memory": 30, "slice_wait": 20})
+    bar = stack_bar(stack, width=10)
+    assert len(bar) == 10
+    assert bar.count("#") == 5 and bar.count("M") == 3 and bar.count("S") == 2
+
+
+def test_render_stacks_scales_to_worst():
+    small = CPIStack(config_name="a", instructions=100, cycles=100,
+                     components={"base": 100})
+    big = CPIStack(config_name="b", instructions=100, cycles=200,
+                   components={"base": 120, "memory": 80})
+    out = render_stacks([small, big], width=40)
+    assert "legend" in out
+    assert out.index("a") < out.index("b")
+    # The worse stack's bar is about twice as long.
+    lines = out.splitlines()
+    assert len(lines[1]) < len(lines[2])
+
+
+def test_summary_includes_cpi_stack_line():
+    trace = tuple(get_workload("li").trace(max_steps=2_000, iters=1, skip=0))
+    stats = simulate(bitslice_config(2), trace, warmup=300)
+    assert "CPI stack" in stats.summary()
+
+
+# ------------------------------------------------------------ event feed
+
+
+def test_cpi_sample_events_are_cumulative_and_become_counters():
+    from repro.obs.events import CPI_SAMPLE, EventTrace, to_chrome_trace
+
+    trace = tuple(get_workload("li").trace(max_steps=3_000, iters=1, skip=0))
+    ev = EventTrace(capacity=None)
+    # warmup=0 so the stats object is never swapped: the counter track
+    # is then cumulative end to end (a warmup swap resets it, visibly).
+    stats = simulate(bitslice_config(2), trace, events=ev)
+    samples = [e for e in ev if e.kind == CPI_SAMPLE]
+    assert samples, "expected periodic cpi_sample events"
+    for key in COMPONENT_KEYS:
+        series = [s.args[key] for s in samples]
+        assert all(b >= a for a, b in zip(series, series[1:])), key
+    # The final sample never exceeds the finished totals.
+    final = samples[-1].args
+    stack = stats.cpi_stack()
+    assert all(final[k] <= stack.components[k] for k in COMPONENT_KEYS)
+    counters = [t for t in to_chrome_trace(ev)["traceEvents"] if t["ph"] == "C"]
+    assert len(counters) == len(samples)
+    assert counters[0]["name"] == "cpi_stack"
