@@ -84,7 +84,86 @@ def compare(baseline: dict, current: dict, threshold: float, strict_throughput: 
         lines.append(
             f"  {name:<10s} host throughput {base:>12,.0f} -> {cur:>12,.0f} inst/s ({delta:+6.1%}) {note}"
         )
+    lines.extend(
+        _timing_lines(baseline, current, threshold, strict_throughput, regressions)
+    )
     return lines, regressions
+
+
+#: Timing-layer snapshot sections: (record key, row label, unit, gated).
+#: Raw throughputs are host-bound and per-config speedups jitter beyond
+#: 10% run-to-run, so both stay informational (or gate under
+#: ``--strict-throughput``); the *geomean* speedups below are stable
+#: (fast and reference share the host, noise averages out across
+#: configs) and carry the default regression gate.
+_TIMING_SECTIONS = (
+    ("timing_cycles_per_second", "timing", "cyc/s", False),
+    ("detailed_instructions_per_second", "detailed", "inst/s", False),
+    ("timing_speedup", "timing speedup", "x", False),
+    ("detailed_speedup", "detailed speedup", "x", False),
+)
+
+#: Scalar per-benchmark keys gated by default: geomean fast/reference
+#: speedups from ``scripts/bench_timing.py``.
+_TIMING_GEOMEANS = (
+    ("timing_speedup_geomean", "timing speedup (geomean)"),
+    ("detailed_speedup_geomean", "detailed speedup (geomean)"),
+)
+
+
+def _timing_lines(baseline, current, threshold, strict_throughput, regressions):
+    """Compare the per-config timing-layer sections written by
+    ``scripts/bench_timing.py`` (absent from plain CLI snapshots)."""
+    lines = []
+    for key, label, unit, gated in _TIMING_SECTIONS:
+        base_cells = {}
+        cur_cells = {}
+        for cells, snap in ((base_cells, baseline), (cur_cells, current)):
+            for name, record in snap["benchmarks"].items():
+                section = record.get(key)
+                if isinstance(section, dict):
+                    for config, value in section.items():
+                        cells[(name, config)] = float(value)
+        common = sorted(set(base_cells) & set(cur_cells))
+        if not common:
+            continue
+        if not lines:
+            lines.append("")
+        gate = gated or strict_throughput
+        for cell in common:
+            base, cur = base_cells[cell], cur_cells[cell]
+            delta = (cur - base) / base if base else 0.0
+            if unit == "x":
+                shown = f"{base:8.2f}x -> {cur:8.2f}x"
+            else:
+                shown = f"{base:>12,.0f} -> {cur:>12,.0f} {unit}"
+            note = "" if gate else "(informational)"
+            if gate and delta < -threshold:
+                note = "  <-- REGRESSION"
+                regressions.append(
+                    f"{cell[0]}/{cell[1]}: {label} {shown.strip()} ({delta:+.1%})"
+                )
+            lines.append(
+                f"  {cell[0]:<10s} {cell[1]:<20s} {label:<17s} {shown} ({delta:+6.1%}) {note}"
+            )
+    for key, label in _TIMING_GEOMEANS:
+        for name in sorted(set(baseline["benchmarks"]) & set(current["benchmarks"])):
+            base = baseline["benchmarks"][name].get(key)
+            cur = current["benchmarks"][name].get(key)
+            if base is None or cur is None or float(base) <= 0:
+                continue
+            base, cur = float(base), float(cur)
+            delta = (cur - base) / base
+            note = ""
+            if delta < -threshold:
+                note = "  <-- REGRESSION"
+                regressions.append(
+                    f"{name}: {label} {base:.2f}x -> {cur:.2f}x ({delta:+.1%})"
+                )
+            lines.append(
+                f"  {name:<10s} {label:<32s} {base:8.2f}x -> {cur:8.2f}x ({delta:+6.1%}) {note}"
+            )
+    return lines
 
 
 def _trace_cache_lines(baseline: dict, current: dict) -> list[str]:

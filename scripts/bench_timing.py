@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Benchmark the timing-layer fast path against its golden reference.
+
+Measures, per configuration:
+
+* ``TimingSimulator`` — simulated cycles per wall-second under the
+  pre-bound fast path vs. the reference one-pass loop, and the ratio;
+* ``DetailedSimulator`` — instructions and cycles per wall-second with
+  cycle-skipping vs. the explicit reference cycle loop, and the ratio.
+
+Every measured configuration is first lockstep cross-checked on a slice
+of the trace (full stats + event streams), so a snapshot can never
+record throughput for a fast path that diverged from the golden model.
+
+Writes a ``BENCH_<run>.json`` snapshot (same schema as the CLI's perf
+snapshots, plus ``timing_*`` / ``detailed_*`` sections) for
+``scripts/bench_compare.py``'s timing regression gate::
+
+    python scripts/bench_timing.py --out benchmarks/BENCH_timing.json
+    python scripts/bench_timing.py --assert-fast-active --check-speedup
+
+Speedup ratios are host-normalised (both modes run on the same machine
+in the same process), so ``--check-speedup`` is meaningful on shared CI
+runners where raw cycles/s would not be.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import (  # noqa: E402
+    Features,
+    baseline_config,
+    bitslice_config,
+    simple_pipeline_config,
+)
+from repro.experiments import runner  # noqa: E402
+from repro.obs.manifest import bench_snapshot, build_manifest  # noqa: E402
+from repro.harness.atomicio import atomic_write_json  # noqa: E402
+from repro.timing.detailed import DetailedSimulator  # noqa: E402
+from repro.timing.fastpath import (  # noqa: E402
+    cross_check_detailed,
+    cross_check_timing,
+    default_timing_mode,
+)
+from repro.timing.simulator import TimingSimulator  # noqa: E402
+
+#: Trace slice used for the pre-measurement lockstep parity check.
+PARITY_SLICE = 3000
+
+
+def timing_configs():
+    """Configurations benched on the one-pass timestamp simulator."""
+    return [
+        baseline_config(),
+        simple_pipeline_config(4),
+        bitslice_config(2),
+        bitslice_config(4),
+    ]
+
+
+def detailed_configs():
+    """Configurations benched on the explicit cycle-loop model (atomic
+    plus basic bypassing-only sliced — the reference's whole domain)."""
+    basic = Features(partial_operand_bypassing=True)
+    return [
+        baseline_config(),
+        simple_pipeline_config(2),
+        simple_pipeline_config(4),
+        bitslice_config(2, basic, name="basic-slice2"),
+        bitslice_config(4, basic, name="basic-slice4"),
+    ]
+
+
+def _best_wall(make_sim, trace, repeats: int):
+    """Best-of-*repeats* wall seconds and the final run's stats."""
+    best = math.inf
+    stats = None
+    for _ in range(repeats):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        stats = sim.run(trace)
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, stats
+
+
+def bench_timing_layer(trace, repeats: int, verbose=print):
+    """Per-config fast/reference cycles-per-second for TimingSimulator."""
+    rows = {}
+    parity = list(trace[:PARITY_SLICE])
+    for cfg in timing_configs():
+        cross_check_timing(cfg, parity)
+        fast_wall, stats = _best_wall(
+            lambda: TimingSimulator(cfg, mode="fast"), trace, repeats
+        )
+        ref_wall, _ = _best_wall(
+            lambda: TimingSimulator(cfg, mode="reference"), trace, repeats
+        )
+        rows[cfg.name] = {
+            "cycles": stats.cycles,
+            "ipc": stats.ipc,
+            "fast_cycles_per_second": stats.cycles / fast_wall,
+            "reference_cycles_per_second": stats.cycles / ref_wall,
+            "speedup": ref_wall / fast_wall,
+            "fast_wall_seconds": fast_wall,
+        }
+        verbose(
+            f"  timing   {cfg.name:<16s} {stats.cycles / fast_wall:10,.0f} cyc/s fast"
+            f"  {stats.cycles / ref_wall:10,.0f} cyc/s ref   {ref_wall / fast_wall:5.2f}x"
+        )
+    return rows
+
+
+def bench_detailed_model(trace, repeats: int, verbose=print):
+    """Per-config fast/reference throughput for DetailedSimulator."""
+    rows = {}
+    parity = list(trace[:PARITY_SLICE])
+    for cfg in detailed_configs():
+        _, skipped = cross_check_detailed(cfg, parity)
+        fast_wall, stats = _best_wall(
+            lambda: DetailedSimulator(cfg, mode="fast"), trace, repeats
+        )
+        ref_wall, _ = _best_wall(
+            lambda: DetailedSimulator(cfg, mode="reference"), trace, repeats
+        )
+        rows[cfg.name] = {
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+            "ipc": stats.ipc,
+            "fast_cycles_per_second": stats.cycles / fast_wall,
+            "reference_cycles_per_second": stats.cycles / ref_wall,
+            "fast_instructions_per_second": stats.instructions / fast_wall,
+            "reference_instructions_per_second": stats.instructions / ref_wall,
+            "speedup": ref_wall / fast_wall,
+            "fast_wall_seconds": fast_wall,
+            "parity_skipped_cycles": skipped,
+        }
+        verbose(
+            f"  detailed {cfg.name:<16s} {stats.cycles / fast_wall:10,.0f} cyc/s fast"
+            f"  {stats.cycles / ref_wall:10,.0f} cyc/s ref   {ref_wall / fast_wall:5.2f}x"
+            f"  ({skipped} cycles skipped in parity run)"
+        )
+    return rows
+
+
+def geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "-b", "--benchmark", default="li",
+        help="workload whose trace drives the measurement (default li)",
+    )
+    parser.add_argument(
+        "-n", "--instructions", type=int, default=30_000, metavar="N",
+        help="trace records to simulate (default 30000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="R",
+        help="wall-time repeats per (config, mode); best is kept (default 3)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the BENCH-schema snapshot JSON here",
+    )
+    parser.add_argument(
+        "--assert-fast-active", action="store_true",
+        help="fail unless the fast path is the session default "
+             "(guards CI against silently benching the reference)",
+    )
+    parser.add_argument(
+        "--check-speedup", action="store_true",
+        help="fail unless geomean speedups clear the repo floors "
+             "(TimingSimulator >= 1.5x, DetailedSimulator >= 2x)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.assert_fast_active:
+        mode = default_timing_mode()
+        sim_mode = TimingSimulator(baseline_config()).mode
+        det_mode = DetailedSimulator(baseline_config()).mode
+        if not (mode == sim_mode == det_mode == "fast"):
+            print(
+                f"error: fast path not active (default={mode!r}, "
+                f"TimingSimulator={sim_mode!r}, DetailedSimulator={det_mode!r}); "
+                f"is $REPRO_TIMING forcing the reference?",
+                file=sys.stderr,
+            )
+            return 1
+        print("fast path active (default mode 'fast')")
+
+    print(
+        f"collecting {args.instructions} trace records of {args.benchmark!r} ..."
+    )
+    trace = list(
+        runner.collect_trace(args.benchmark, args.instructions)
+    )
+    print(f"benching over {len(trace)} records, best of {args.repeats}:")
+
+    timing_rows = bench_timing_layer(trace, args.repeats)
+    detailed_rows = bench_detailed_model(trace, args.repeats)
+    timing_gm = geomean(r["speedup"] for r in timing_rows.values())
+    detailed_gm = geomean(r["speedup"] for r in detailed_rows.values())
+    print(f"geomean speedup: timing {timing_gm:.2f}x, detailed {detailed_gm:.2f}x")
+
+    if args.out:
+        record = {
+            # BENCH-schema required keys (over the whole timing sweep).
+            "ipc": {name: r["ipc"] for name, r in timing_rows.items()},
+            "wall_seconds": sum(r["fast_wall_seconds"] for r in timing_rows.values())
+            + sum(r["fast_wall_seconds"] for r in detailed_rows.values()),
+            "instructions_per_second": geomean(
+                r["fast_instructions_per_second"] for r in detailed_rows.values()
+            ),
+            "instructions": len(trace),
+            # Timing-layer sections consumed by bench_compare.py.
+            "timing_cycles_per_second": {
+                name: r["fast_cycles_per_second"] for name, r in timing_rows.items()
+            },
+            "timing_speedup": {name: r["speedup"] for name, r in timing_rows.items()},
+            "detailed_instructions_per_second": {
+                name: r["fast_instructions_per_second"]
+                for name, r in detailed_rows.items()
+            },
+            "detailed_speedup": {
+                name: r["speedup"] for name, r in detailed_rows.items()
+            },
+            "timing_speedup_geomean": timing_gm,
+            "detailed_speedup_geomean": detailed_gm,
+        }
+        manifest = build_manifest(
+            config={
+                "benchmark": args.benchmark,
+                "instructions": args.instructions,
+                "repeats": args.repeats,
+            },
+            argv=list(argv) if argv is not None else None,
+            extra={"timing": default_timing_mode(), "bench": "timing-layer"},
+        )
+        run = f"timing-{time.strftime('%Y%m%dT%H%M%SZ', time.gmtime())}"
+        payload = bench_snapshot(run, {args.benchmark: record}, manifest)
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(out, payload)
+        print(f"timing snapshot written to {out}")
+
+    if args.check_speedup:
+        failed = []
+        if timing_gm < 1.5:
+            failed.append(f"TimingSimulator geomean {timing_gm:.2f}x < 1.5x floor")
+        if detailed_gm < 2.0:
+            failed.append(f"DetailedSimulator geomean {detailed_gm:.2f}x < 2x floor")
+        if failed:
+            for line in failed:
+                print(f"error: {line}", file=sys.stderr)
+            return 1
+        print("speedup floors cleared (timing >= 1.5x, detailed >= 2x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,6 +132,11 @@ def _parser() -> argparse.ArgumentParser:
         "--no-trace-cache", action="store_true",
         help="disable the persistent trace cache for this run",
     )
+    perf.add_argument(
+        "--timing", choices=("fast", "reference"), default=None,
+        help="timing-layer implementation: pre-bound fast path (default) or "
+             "the golden reference loop (overrides $REPRO_TIMING)",
+    )
     obs = p.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -184,6 +189,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     set_wall_timeout(args.timeout)
+    if args.timing is not None:
+        from repro.timing.fastpath import set_timing_mode
+
+        set_timing_mode(args.timing)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
@@ -221,6 +230,7 @@ def _write_obs_outputs(args, session, argv) -> None:
 
     from repro.harness.atomicio import atomic_write_text
     from repro.obs.manifest import build_manifest, write_bench_snapshot
+    from repro.timing.fastpath import default_timing_mode
 
     manifest = build_manifest(
         config={
@@ -236,6 +246,7 @@ def _write_obs_outputs(args, session, argv) -> None:
             "trace_cache": trace_cache.stats(),
             "jobs": args.jobs,
             "dispatch": default_dispatch(),
+            "timing": default_timing_mode(),
         },
     )
     if args.profile:

@@ -34,6 +34,7 @@ from repro.emulator.tracefile import pack_trace, unpack_trace
 from repro.experiments import runner, trace_cache
 from repro.experiments.runner import FailureRecord
 from repro.harness.errors import TraceCorruption
+from repro.timing.fastpath import timing_mode_override
 from repro.timing.stats import SimStats
 
 #: ``spawn`` everywhere: identical worker lifecycle on every platform,
@@ -46,17 +47,26 @@ def default_jobs() -> int:
     return max(1, multiprocessing.cpu_count() - 1)
 
 
-def _worker_init(wall_timeout, budget_overrides, cache_dir, cache_enabled) -> None:
+def _worker_init(
+    wall_timeout, budget_overrides, cache_dir, cache_enabled, timing_mode=None
+) -> None:
     """Re-apply parent-process module state inside a fresh worker.
 
     Everything the runner keeps in globals must be passed explicitly:
     a spawned interpreter starts from ``import repro``, not from a copy
-    of the parent's memory.
+    of the parent's memory.  That includes the timing-layer mode
+    override (``--timing`` / :func:`repro.timing.fastpath.set_timing_mode`):
+    workers still read ``$REPRO_TIMING`` themselves, but a programmatic
+    override would otherwise silently vanish under ``spawn``.
     """
     runner.set_wall_timeout(wall_timeout)
     for name, cap in budget_overrides.items():
         runner.set_budget_override(name, cap)
     trace_cache.configure(cache_dir, cache_enabled)
+    if timing_mode is not None:
+        from repro.timing.fastpath import set_timing_mode
+
+        set_timing_mode(timing_mode)
 
 
 @dataclass(frozen=True)
@@ -124,6 +134,7 @@ def collect_parallel(
             dict(runner._budget_overrides),
             str(trace_cache.cache_dir()) if enabled else None,
             enabled,
+            timing_mode_override(),
         ),
     ) as pool:
         results = pool.map(_collect_worker, tasks)
@@ -214,6 +225,7 @@ def run_cells(
             dict(runner._budget_overrides),
             str(trace_cache.cache_dir()) if enabled else None,
             enabled,
+            timing_mode_override(),
         ),
     ) as pool:
         results = pool.map(_simulate_cell, tasks)

@@ -31,6 +31,9 @@ class RunRecord:
     cycles: int
     ipc: float
     wall_seconds: float
+    #: Timing-loop implementation that produced the run ("fast" /
+    #: "reference"); empty when the caller predates the fast path.
+    timing_mode: str = ""
 
     @property
     def instructions_per_second(self) -> float:
@@ -83,7 +86,7 @@ class ObsSession:
         self.registry.timer("trace_cache.load_wall", help="cache load wall time").add(seconds)
         self.heartbeat(f"cache.hit.{benchmark}")
 
-    def record_run(self, stats, wall_seconds: float) -> None:
+    def record_run(self, stats, wall_seconds: float, timing_mode: str = "") -> None:
         """Called after one ``simulate()``; *stats* is a ``SimStats``."""
         benchmark = self.current_benchmark or "?"
         self.runs.append(
@@ -94,6 +97,7 @@ class ObsSession:
                 cycles=stats.cycles,
                 ipc=stats.ipc,
                 wall_seconds=wall_seconds,
+                timing_mode=timing_mode,
             )
         )
         self.profiler.add(
@@ -147,6 +151,9 @@ class ObsSession:
             rec["instructions_per_second"] = (
                 rec["instructions"] / rec["wall_seconds"] if rec["wall_seconds"] > 0 else 0.0
             )
+            modes = {r.timing_mode for r in self.runs if r.benchmark == name and r.timing_mode}
+            if modes:
+                rec["timing_mode"] = modes.pop() if len(modes) == 1 else "mixed"
         return out
 
     def finalize_registry(self) -> MetricsRegistry:

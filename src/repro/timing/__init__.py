@@ -8,6 +8,14 @@ known deltas (wrong-path instructions are charged as redirect latency,
 not simulated).
 """
 
+from repro.timing.fastpath import (
+    TimingDivergence,
+    cross_check_detailed,
+    cross_check_timing,
+    default_timing_mode,
+    set_timing_mode,
+    timing_mode_override,
+)
 from repro.timing.pipeview import events_to_timeline, render_events, render_timeline
 from repro.timing.simulator import TimingSimulator, simulate
 from repro.timing.stats import METRIC_CATALOG, SimStats
@@ -15,9 +23,15 @@ from repro.timing.stats import METRIC_CATALOG, SimStats
 __all__ = [
     "METRIC_CATALOG",
     "SimStats",
+    "TimingDivergence",
     "TimingSimulator",
+    "cross_check_detailed",
+    "cross_check_timing",
+    "default_timing_mode",
     "events_to_timeline",
     "render_events",
     "render_timeline",
+    "set_timing_mode",
     "simulate",
+    "timing_mode_override",
 ]

@@ -1,0 +1,899 @@
+"""Pre-bound fast path for the timing layer.
+
+Mirror of the PR 3 emulator dispatch pattern (:mod:`repro.emulator.dispatch`)
+applied to :class:`repro.timing.simulator.TimingSimulator`: the first
+time a static instruction is seen, :func:`bind_plan` resolves its op
+class, source/destination register tuples, FULL-unit latency and slice
+order **once** and captures them in a specialized closure; every later
+dynamic occurrence replays the closure instead of re-deriving them.
+Three further mechanical optimisations ride on the same plan cache:
+
+* **flat timestamp scoreboard** — register slice-ready times live in
+  one preallocated flat list indexed ``reg * S + slice``, so operand
+  reads are slice copies instead of nested loops over a list-of-lists,
+  and destination writes are in-place stores instead of per-dst
+  ``list(...)`` copies;
+* **incremental LSQ window** — the store window is pruned once per
+  load (``commit <= dispatch`` entries pop from the left; both bounds
+  are monotone, so the pruned deque *is* the reference's per-load
+  ``[s for s in window if s.commit > dispatch]`` filter) and
+  store-to-load forwarding is a word -> youngest-store dict lookup
+  instead of a full window scan;
+* **shared scheduling kernels** — Figure 8 slice scheduling
+  (``_schedule_sliced``), fetch (``_fetch``) and the load memory tail
+  (``_load_access``) are the *same methods* the reference loop runs,
+  so the modes can only diverge in the binding layer, which the
+  lockstep cross-check covers.
+
+The fast path is selected by default; ``REPRO_TIMING=reference`` (or
+``TimingSimulator(..., mode="reference")``) runs the original loops,
+kept verbatim as the golden models.  :func:`cross_check_timing` and
+:func:`cross_check_detailed` run both modes over one trace and raise
+:class:`TimingDivergence` on *any* stats or cycle-event mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.branch.early import can_resolve_early
+from repro.core.slicing import slices_containing_difference
+from repro.isa.opclass import OpClass, op_class
+from repro.obs.events import (
+    COMMIT,
+    CPI_SAMPLE,
+    DISPATCH,
+    EARLY_RELEASE,
+    FETCH,
+    SLICE_COMPLETE,
+    EventTrace,
+)
+from repro.obs.attribution import attribute_delta
+from repro.timing.stats import SimStats
+
+#: Environment toggle, mirroring ``REPRO_DISPATCH``.
+TIMING_ENV = "REPRO_TIMING"
+
+#: In-process override (set by ``--timing``); wins over the environment
+#: so parallel workers can re-apply it via ``_worker_init``.
+_override: str | None = None
+
+
+def _canon(value: str) -> str:
+    return "reference" if str(value).strip().lower() in ("reference", "ref", "slow") else "fast"
+
+
+def default_timing_mode() -> str:
+    """Timing-loop implementation selected by ``REPRO_TIMING`` (default ``fast``)."""
+    if _override is not None:
+        return _override
+    return _canon(os.environ.get(TIMING_ENV, "fast"))
+
+
+def set_timing_mode(mode: str | None) -> str | None:
+    """Set (or with ``None`` clear) the in-process mode override."""
+    global _override
+    _override = None if mode is None else _canon(mode)
+    return _override
+
+
+def timing_mode_override() -> str | None:
+    """The current in-process override, for worker re-application."""
+    return _override
+
+
+class TimingDivergence(AssertionError):
+    """Fast and reference timing paths disagreed (stats or events)."""
+
+
+# --------------------------------------------------------------- binding
+
+_ALU_CLASSES = (OpClass.LOGIC, OpClass.ARITH, OpClass.SHIFT_LEFT, OpClass.SHIFT_RIGHT)
+
+
+def _sched_for(sim, klass):
+    """Specialized Figure 8 slice scheduler for one op class.
+
+    Each closure replays :meth:`TimingSimulator._schedule_sliced` for a
+    fixed *klass* with the per-slice class branches, the ``order``
+    object and the operand-window slice copies resolved at bind time.
+    Correctness notes against the reference:
+
+    * for ARITH / SHIFT_LEFT / SHIFT_RIGHT the intra-instruction chain
+      forces ``ready >= complete[prev] == prev_start + 1``, so the
+      explicit in-order rule is subsumed and one closure serves both
+      slice-issue disciplines;
+    * the chains also make per-slice completions monotone along the
+      iteration order, so ``max(complete)`` is the last computed value;
+    * reservation calls hit the per-slice pools in the reference's
+      exact order, keeping the bandwidth-pool state bit-identical.
+    """
+    scheds = sim._scheds
+    sched = scheds.get(klass)
+    if sched is not None:
+        return sched
+    S = sim.num_slices
+    pools = [p.reserve for p in sim.issue_pools]
+    ks = tuple(range(1, S))
+    if klass is OpClass.ARITH:
+        r0 = pools[0]
+
+        def sched(earliest, sr):
+            ready = sr[0]
+            if earliest > ready:
+                ready = earliest
+            start = r0(ready)
+            c = start + 1
+            out = [c]
+            append = out.append
+            for k in ks:
+                ready = sr[k]
+                if c > ready:
+                    ready = c
+                if earliest > ready:
+                    ready = earliest
+                c = pools[k](ready) + 1
+                append(c)
+            sim._claim_slice += c - start - 1
+            return out
+    elif klass is OpClass.SHIFT_LEFT:
+        r0 = pools[0]
+
+        def sched(earliest, sr):
+            m = sr[0]
+            ready = m if m > earliest else earliest
+            start = r0(ready)
+            c = start + 1
+            out = [c]
+            append = out.append
+            for k in ks:
+                v = sr[k]
+                if v > m:
+                    m = v
+                ready = m
+                if c > ready:
+                    ready = c
+                if earliest > ready:
+                    ready = earliest
+                c = pools[k](ready) + 1
+                append(c)
+            sim._claim_slice += c - start - 1
+            return out
+    elif klass is OpClass.SHIFT_RIGHT:
+        top = S - 1
+        rt = pools[top]
+        ks_down = tuple(range(S - 2, -1, -1))
+
+        def sched(earliest, sr):
+            m = sr[top]
+            ready = m if m > earliest else earliest
+            start = rt(ready)
+            c = start + 1
+            out = [0] * S
+            out[top] = c
+            for k in ks_down:
+                v = sr[k]
+                if v > m:
+                    m = v
+                ready = m
+                if c > ready:
+                    ready = c
+                if earliest > ready:
+                    ready = earliest
+                c = pools[k](ready) + 1
+                out[k] = c
+            sim._claim_slice += c - start - 1
+            return out
+    else:  # LOGIC / ZERO_TEST: independent slices, no chain
+        r0 = pools[0]
+        if sim.ooo_slices:
+            def sched(earliest, sr):
+                ready = sr[0]
+                if earliest > ready:
+                    ready = earliest
+                start = r0(ready)
+                c = start + 1
+                out = [c]
+                append = out.append
+                mx = c
+                for k in ks:
+                    ready = sr[k]
+                    if earliest > ready:
+                        ready = earliest
+                    c = pools[k](ready) + 1
+                    if c > mx:
+                        mx = c
+                    append(c)
+                sim._claim_slice += mx - start - 1
+                return out
+        else:
+            def sched(earliest, sr):
+                ready = sr[0]
+                if earliest > ready:
+                    ready = earliest
+                prev = r0(ready)
+                c = prev + 1
+                out = [c]
+                append = out.append
+                start = prev
+                mx = c
+                for k in ks:
+                    ready = sr[k]
+                    if c > ready:  # prev_start + 1 == c for unit-latency slices
+                        ready = c
+                    if earliest > ready:
+                        ready = earliest
+                    prev = pools[k](ready)
+                    c = prev + 1
+                    if c > mx:
+                        mx = c
+                    append(c)
+                sim._claim_slice += mx - start - 1
+                return out
+    scheds[klass] = sched
+    return sched
+
+
+def bind_plan(sim, inst):
+    """Bind one static instruction to its specialized scheduler.
+
+    Returns ``(handler, is_mem, is_control, is_branch, is_store)``;
+    ``handler(record, earliest_exec, dispatch)`` performs the execute
+    stage (including destination writeback to the flat scoreboard) and
+    returns ``(complete, result_times, resolve)`` exactly as the
+    reference loop computes them.
+    """
+    cfg = sim.config
+    S = sim.num_slices
+    rr = sim._rr
+    m = inst.mnemonic
+    klass = op_class(m)
+    is_mem = klass is OpClass.LOAD or klass is OpClass.STORE
+    is_store = klass is OpClass.STORE
+    is_branch = inst.is_branch
+    is_control = inst.is_control
+    srcs = inst.src_regs()
+    dsts = inst.dst_regs()
+    has_dsts = bool(dsts)
+    wdsts = tuple(r * S for r in dsts if r != 0)
+    sliced = sim.sliced
+    narrow = sim.narrow
+    relax = sim._relax_narrow
+    reserve0 = sim.issue_pools[0].reserve
+    ex_stages = cfg.ex_stages
+
+    # --- source readiness readers over the flat scoreboard ---
+    if not srcs:
+        def src_ready():
+            return [0] * S
+
+        def full_ready():
+            return 0
+    elif len(srcs) == 1:
+        b0 = srcs[0] * S
+
+        def src_ready():
+            return rr[b0:b0 + S]
+
+        def full_ready():
+            return max(rr[b0:b0 + S])
+    else:
+        bases = tuple(r * S for r in srcs)
+
+        def src_ready():
+            out = rr[bases[0]:bases[0] + S]
+            for b in bases[1:]:
+                for s in range(S):
+                    v = rr[b + s]
+                    if v > out[s]:
+                        out[s] = v
+            return out
+
+        def full_ready():
+            return max(max(rr[b:b + S]) for b in bases)
+
+    # --- destination writeback ---
+    if len(wdsts) == 1:
+        d0 = wdsts[0]
+
+        def write_scalar(t):
+            for s in range(S):
+                rr[d0 + s] = t
+
+        def write_list(times):
+            rr[d0:d0 + S] = times
+    else:
+        def write_scalar(t):
+            for d in wdsts:
+                for s in range(S):
+                    rr[d + s] = t
+
+        def write_list(times):
+            for d in wdsts:
+                rr[d:d + S] = times
+
+    # ------------------------------------------------------------- NOP
+    if klass is OpClass.NOP or inst.is_nop:
+        def handler(record, earliest, dispatch):
+            complete = earliest + 1
+            if has_dsts:
+                write_scalar(complete)
+            return complete, complete, None
+
+    # ------------------------------------------------- sliceable ALU ops
+    elif klass in _ALU_CLASSES:
+        if sliced:
+            sched = _sched_for(sim, klass)
+
+            def handler(record, earliest, dispatch):
+                per = sched(earliest, src_ready())
+                complete = max(per)
+                if has_dsts:
+                    if narrow:
+                        per = relax(per, record.result)
+                    write_list(per)
+                return complete, per, None
+        else:
+            def handler(record, earliest, dispatch):
+                ready = full_ready()
+                if earliest > ready:
+                    ready = earliest
+                complete = reserve0(ready) + ex_stages
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, None
+
+    # ------------------------------------------------ compare (non-branch)
+    elif klass is OpClass.COMPARE and not is_branch:
+        if sliced:
+            sched = _sched_for(sim, OpClass.ARITH)
+
+            def handler(record, earliest, dispatch):
+                per = sched(earliest, src_ready())
+                complete = per[-1]
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, None
+        else:
+            def handler(record, earliest, dispatch):
+                ready = full_ready()
+                if earliest > ready:
+                    ready = earliest
+                complete = reserve0(ready) + ex_stages
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, None
+
+    # ------------------------------------------------------ FULL units
+    elif klass is OpClass.FULL:
+        latency = ex_stages
+        if m in ("mult", "multu"):
+            latency = max(cfg.int_mult_lat, ex_stages)
+        elif m in ("div", "divu"):
+            latency = max(cfg.int_div_lat, ex_stages)
+        elif m == "mul.s":
+            latency = max(cfg.fp_mult_lat, ex_stages)
+        elif m == "div.s":
+            latency = max(cfg.fp_div_lat, ex_stages)
+        elif m == "sqrt.s":
+            latency = max(cfg.fp_sqrt_lat, ex_stages)
+        elif m.endswith(".s") or m.endswith(".w"):
+            latency = max(cfg.fp_alu_lat, ex_stages)
+        if m in ("mult", "multu", "div", "divu"):
+            unit_reserve = sim.multdiv.reserve
+        elif m in ("mul.s", "div.s", "sqrt.s"):
+            unit_reserve = sim.fp_muldiv.reserve
+        else:
+            unit_reserve = None
+        if unit_reserve is not None:
+            def handler(record, earliest, dispatch, _lat=latency, _res=unit_reserve):
+                ready = full_ready()
+                if earliest > ready:
+                    ready = earliest
+                complete = _res(ready, _lat) + _lat
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, None
+        else:
+            def handler(record, earliest, dispatch, _lat=latency):
+                ready = full_ready()
+                if earliest > ready:
+                    ready = earliest
+                complete = reserve0(ready) + _lat
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, None
+
+    # ----------------------------------------------------------- loads
+    elif klass is OpClass.LOAD:
+        agen_fn = _bind_agen(sim, srcs, src_ready, full_ready)
+        load_tail = _bind_load_release(sim)
+
+        def handler(record, earliest, dispatch):
+            agen = agen_fn(earliest)
+            data_ready = load_tail(record, agen, dispatch)
+            sim.stats.loads += 1
+            if has_dsts:
+                write_scalar(data_ready)
+            return data_ready, data_ready, None
+
+    # ---------------------------------------------------------- stores
+    elif klass is OpClass.STORE:
+        agen_fn = _bind_agen(sim, srcs[:1], None, None)
+        rt_base = inst.rt * S  # raw rt, replicating the reference quirk
+
+        def handler(record, earliest, dispatch):
+            agen = agen_fn(earliest)
+            data_ready = max(rr[rt_base:rt_base + S])
+            complete = agen[-1]
+            if data_ready > complete:
+                complete = data_ready
+            sim.stats.stores += 1
+            sim._store_agen = agen
+            sim._store_data = data_ready
+            return complete, complete, None
+
+    # -------------------------------------------------------- branches
+    elif is_branch:
+        handler = _bind_branch(sim, inst, src_ready, full_ready, write_scalar, has_dsts)
+
+    # ----------------------------------------------------------- jumps
+    elif klass is OpClass.JUMP:
+        if m in ("j", "jal"):
+            def handler(record, earliest, dispatch):
+                complete = earliest + 1
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, complete
+        else:  # jr / jalr need the full register value
+            def handler(record, earliest, dispatch):
+                ready = full_ready()
+                complete = (earliest if earliest > ready else ready) + 1
+                if has_dsts:
+                    write_scalar(complete)
+                return complete, complete, complete
+
+    # ----------------------------------------------- syscall / serialize
+    else:
+        def handler(record, earliest, dispatch):
+            ready = full_ready()
+            complete = (earliest if earliest > ready else ready) + 1
+            if has_dsts:
+                write_scalar(complete)
+            return complete, complete, None
+
+    return handler, is_mem, is_control, is_branch, is_store
+
+
+def _bind_agen(sim, base_regs, src_ready, full_ready):
+    """Address-generation closure over the flat scoreboard
+    (replicating :meth:`TimingSimulator._agen`)."""
+    S = sim.num_slices
+    rr = sim._rr
+    reserve0 = sim.issue_pools[0].reserve
+    ex_stages = sim.config.ex_stages
+    if src_ready is None:
+        # Store path: agen over the base register only.
+        if base_regs:
+            b0 = base_regs[0] * S
+
+            def src_ready():
+                return rr[b0:b0 + S]
+
+            def full_ready():
+                return max(rr[b0:b0 + S])
+        else:  # pragma: no cover - every load/store has a base register
+            def src_ready():
+                return [0] * S
+
+            def full_ready():
+                return 0
+    if sim.sliced:
+        sched = _sched_for(sim, OpClass.ARITH)
+
+        def agen_fn(earliest):
+            return tuple(sched(earliest, src_ready()))
+    elif S > 1:
+        def agen_fn(earliest):
+            ready = full_ready()
+            if earliest > ready:
+                ready = earliest
+            return (reserve0(ready) + ex_stages,) * S
+    else:
+        def agen_fn(earliest):
+            ready = full_ready()
+            if earliest > ready:
+                ready = earliest
+            return (reserve0(ready) + ex_stages,)
+    return agen_fn
+
+
+def _bind_load_release(sim):
+    """Incremental load-store-disambiguation closure.
+
+    Equivalence with the reference's per-load filter
+    ``[s for s in window if s.commit > dispatch]``:
+
+    * store commits and load dispatch cycles are both monotone
+      non-decreasing in program order, so entries failing
+      ``commit > dispatch`` once fail it forever — pruning them off the
+      left of the deque is permanent;
+    * the reference count cap (``len > lsq_size`` pops the oldest) is
+      applied identically here, and because the fast window is always a
+      suffix of the reference window of equal-or-smaller length, the
+      two windows hold exactly the same visible stores when a load
+      looks (cap eviction only ever fires when both are full and
+      identical);
+    * the word -> youngest-store dict may retain popped entries, so a
+      hit counts only when the entry is still in the window
+      (``seq >= window[0].seq``); any older same-word store was
+      appended earlier and therefore popped earlier, so a stale hit
+      never masks a live older match.
+    """
+    window = sim.store_window
+    fwd = sim._fwd
+    early_lsd = sim.early_lsd
+    slice_bits = sim.slice_bits
+    load_access = sim._load_access
+    events = sim.events
+
+    def load_tail(record, agen, dispatch):
+        while window and window[0].commit <= dispatch:
+            window.popleft()
+        forward = None
+        release = 0
+        if window:
+            stats = sim.stats
+            stats.lsd_searches += 1
+            addr = record.mem_addr
+            word = addr & ~3
+            entry = fwd.get(word)
+            if entry is not None and entry.seq >= window[0].seq:
+                forward = entry
+            elif not early_lsd:
+                release = max(s.agen_times[-1] for s in window)
+            else:
+                # Early disambiguation (§5.1): rule each store out at
+                # the first differing address slice.
+                early_helped = False
+                full = 0
+                a_full = agen[-1]
+                for store in window:
+                    s_full = store.agen_times[-1]
+                    if s_full > full:
+                        full = s_full
+                    diff = (store.addr ^ addr) & ~3
+                    k = ((diff & -diff).bit_length() - 1) // slice_bits
+                    t = store.agen_times[k]
+                    if agen[k] > t:
+                        t = agen[k]
+                    if t < (s_full if s_full > a_full else a_full):
+                        early_helped = True
+                    if t > release:
+                        release = t
+                if release < full and early_helped:
+                    stats.lsd_early_releases += 1
+                    if sim._obs_enabled:
+                        events.emit(
+                            EARLY_RELEASE, release, sim.seq, record.pc,
+                            {"full_release": full},
+                        )
+        return load_access(record, agen, release, forward, window)
+
+    return load_tail
+
+
+def _bind_branch(sim, inst, src_ready, full_ready, write_scalar, has_dsts):
+    """Conditional-branch closure (replicating :meth:`TimingSimulator._branch`)."""
+    m = inst.mnemonic
+    reserve0 = sim.issue_pools[0].reserve
+    ex_stages = sim.config.ex_stages
+    if m in ("beq", "bne") and sim.sliced:
+        early_branch = sim.early_branch
+        ooo = sim.ooo_slices
+        S = sim.num_slices
+        gshare_predict = sim.predictor.gshare.predict
+        sched = _sched_for(sim, OpClass.ZERO_TEST)
+
+        def handler(record, earliest, dispatch):
+            per = sched(earliest, src_ready())
+            complete = max(per)
+            resolve = complete
+            if early_branch:
+                predicted_taken = gshare_predict(record.pc)
+                if predicted_taken != record.taken and can_resolve_early(m, predicted_taken):
+                    diff_slices = slices_containing_difference(
+                        record.rs_val, record.rt_val, S
+                    )
+                    if diff_slices:
+                        if ooo:
+                            resolve = min(per[k] for k in diff_slices)
+                        else:
+                            resolve = per[diff_slices[0]]
+                        if resolve < complete:
+                            stats = sim.stats
+                            stats.early_resolved_mispredicts += 1
+                            extra = stats.extra
+                            extra["early_branch_saved_cycles"] = (
+                                extra.get("early_branch_saved_cycles", 0)
+                                + (complete - resolve)
+                            )
+            if has_dsts:  # pragma: no cover - conditional branches have no dsts
+                write_scalar(complete)
+            return complete, complete, resolve
+    elif sim.sliced:
+        sched = _sched_for(sim, OpClass.ARITH)
+
+        def handler(record, earliest, dispatch):
+            per = sched(earliest, src_ready())
+            complete = per[-1]
+            if has_dsts:  # pragma: no cover - conditional branches have no dsts
+                write_scalar(complete)
+            return complete, complete, complete
+    else:
+        def handler(record, earliest, dispatch):
+            ready = full_ready()
+            if earliest > ready:
+                ready = earliest
+            complete = reserve0(ready) + ex_stages
+            if has_dsts:  # pragma: no cover - conditional branches have no dsts
+                write_scalar(complete)
+            return complete, complete, complete
+    return handler
+
+
+# ------------------------------------------------------------- main loop
+
+def run_fast(sim, trace, max_instructions=None, warmup=0, watchdog=None):
+    """Fast-mode main loop for :class:`TimingSimulator`.
+
+    Statement-for-statement mirror of
+    :meth:`TimingSimulator.run_reference` with the per-record execute
+    stage replaced by the pre-bound plan closure and loop-invariant
+    attributes hoisted into locals.  Shared scheduling kernels
+    (``_fetch``, ``_schedule_sliced``, ``_load_access``, the predictor,
+    the attribution waterfall) keep the two modes bit-identical; the
+    lockstep cross-check enforces it.
+    """
+    from repro.timing.simulator import CPI_SAMPLE_INTERVAL, _StoreEntry
+
+    cfg = sim.config
+    stats = sim.stats
+    ev = sim.events
+    obs_on = sim._obs_enabled
+    emit_text = sim._emit_text
+    plans = sim._plans
+    plans_get = plans.get
+    bind = bind_plan
+    fetch = sim._fetch
+    predict_and_train = sim.predictor.predict_and_train
+    commit_reserve = sim.commit_pool.reserve
+    commit_ring = sim.commit_ring
+    mem_ring = sim.mem_commit_ring
+    window = sim.store_window
+    fwd = sim._fwd
+    access_data = sim.hierarchy.access_data
+    dispatch_stage = cfg.dispatch_stage
+    frontend_depth = cfg.frontend_depth
+    retire_stages = cfg.retire_stages
+    ruu_size = cfg.ruu_size
+    lsq_size = cfg.lsq_size
+
+    count = 0
+    warm_commit = 0
+    if watchdog is not None:
+        watchdog.start()
+    limit = None if max_instructions is None else max_instructions + warmup
+    for record in trace:
+        if limit is not None and count >= limit:
+            break
+        count += 1
+        if watchdog is not None:
+            watchdog.poll(count)
+        if count == warmup:
+            warm_commit = sim.last_commit
+            stats = SimStats(config_name=cfg.name)
+            sim.stats = stats
+        sim.seq = seq = sim.seq + 1
+        sim._claim_branch = sim._claim_ruu = sim._claim_lsq = 0
+        sim._claim_lsd = sim._claim_ptm = sim._claim_mem = sim._claim_slice = 0
+        inst = record.inst
+        plan = plans_get(inst)
+        if plan is None:
+            plan = plans[inst] = bind(sim, inst)
+        handler, is_mem, is_control, is_branch, is_store = plan
+
+        F = fetch(record, is_mem)
+        dispatch = F + dispatch_stage
+
+        complete, result_times, resolve = handler(record, F + frontend_depth, dispatch)
+
+        # ---------------- control redirect ----------------
+        mispredicted = False
+        if is_control:
+            outcome = predict_and_train(record)
+            mispredicted = outcome.mispredicted
+            if is_branch:
+                stats.branches += 1
+                if mispredicted:
+                    stats.branch_mispredicts += 1
+            if mispredicted:
+                sim.redirect_at = resolve + 1
+            elif outcome.predicted_taken:
+                sim.fetch_cycle += 1
+                sim.fetched_this_cycle = 0
+
+        # ---------------- commit ----------------
+        last = sim.last_commit
+        commit = complete + retire_stages
+        if commit < last:
+            commit = last
+        commit = commit_reserve(commit)
+        if commit < last:  # pragma: no cover - pool is monotonic here
+            commit = last
+        delta = commit - last
+        if delta:
+            cb = sim._claim_branch
+            cr = sim._claim_ruu
+            cq = sim._claim_lsq
+            cd = sim._claim_lsd
+            cp = sim._claim_ptm
+            cm = sim._claim_mem
+            cs = sim._claim_slice
+            if cb | cr | cq | cd | cp | cm | cs:
+                attribute_delta(stats, delta, (cb, cr, cq, cd, cp, cm, cs))
+            else:
+                stats.cpi_base += delta
+        sim.last_commit = commit
+        if sim.first_commit is None:
+            sim.first_commit = commit
+        commit_ring.append(commit)
+        if len(commit_ring) > ruu_size:
+            commit_ring.popleft()
+        if is_mem:
+            mem_ring.append(commit)
+            if len(mem_ring) > lsq_size:
+                mem_ring.popleft()
+            if is_store:
+                addr = record.mem_addr
+                access_data(addr)
+                entry = _StoreEntry(
+                    seq, addr, sim._store_agen, sim._store_data, commit, dispatch
+                )
+                window.append(entry)
+                fwd[addr & ~3] = entry
+                if len(window) > lsq_size:
+                    window.popleft()
+
+        if obs_on:
+            pc = record.pc
+            fetch_args: dict = {"mnemonic": inst.mnemonic}
+            if emit_text:
+                from repro.isa.disassembler import format_instruction
+
+                fetch_args["text"] = format_instruction(inst, pc=pc)
+            ev.emit(FETCH, F, seq, pc, fetch_args)
+            ev.emit(DISPATCH, dispatch, seq, pc)
+            if isinstance(result_times, list):
+                for k, t in enumerate(result_times):
+                    ev.emit(SLICE_COMPLETE, t, seq, pc, {"slice": k})
+            else:
+                ev.emit(SLICE_COMPLETE, complete, seq, pc, {"slice": 0})
+            ev.emit(
+                COMMIT, commit, seq, pc,
+                {"complete": complete, "mispredicted": mispredicted},
+            )
+            if seq % CPI_SAMPLE_INTERVAL == 0:
+                ev.emit(
+                    CPI_SAMPLE, commit, seq, pc,
+                    {
+                        "base": stats.cpi_base,
+                        "branch_recovery": stats.cpi_branch_recovery,
+                        "ruu_stall": stats.cpi_ruu_stall,
+                        "lsq_stall": stats.cpi_lsq_stall,
+                        "lsd_wait": stats.cpi_lsd_wait,
+                        "ptm_replay": stats.cpi_ptm_replay,
+                        "memory": stats.cpi_memory,
+                        "slice_wait": stats.cpi_slice_wait,
+                    },
+                )
+
+    stats.instructions = max(0, count - warmup)
+    stats.cycles = max(1, sim.last_commit - warm_commit) if stats.instructions else 0
+    if stats.instructions:
+        attributed = (
+            stats.cpi_base + stats.cpi_branch_recovery + stats.cpi_ruu_stall
+            + stats.cpi_lsq_stall + stats.cpi_lsd_wait + stats.cpi_ptm_replay
+            + stats.cpi_memory + stats.cpi_slice_wait
+        )
+        if attributed < stats.cycles:
+            stats.cpi_base += stats.cycles - attributed
+    else:
+        stats.cpi_base = stats.cpi_branch_recovery = stats.cpi_ruu_stall = 0
+        stats.cpi_lsq_stall = stats.cpi_lsd_wait = stats.cpi_ptm_replay = 0
+        stats.cpi_memory = stats.cpi_slice_wait = 0
+    return stats
+
+
+# ---------------------------------------------------------- cross-checks
+
+def _diff_dicts(label: str, ref: dict, fast: dict) -> None:
+    if ref == fast:
+        return
+    keys = sorted(set(ref) | set(fast))
+    diffs = [
+        f"  {k}: reference={ref.get(k)!r} fast={fast.get(k)!r}"
+        for k in keys
+        if ref.get(k) != fast.get(k)
+    ]
+    raise TimingDivergence(
+        f"{label} diverged between timing modes:\n" + "\n".join(diffs)
+    )
+
+
+def _diff_events(ref_events, fast_events) -> None:
+    re_, fe = list(ref_events), list(fast_events)
+    if re_ == fe:
+        return
+    for i, (a, b) in enumerate(zip(re_, fe)):
+        if a != b:
+            raise TimingDivergence(
+                f"cycle-event stream diverged at event {i}:\n"
+                f"  reference: {a}\n  fast:      {b}"
+            )
+    raise TimingDivergence(
+        f"cycle-event stream lengths diverged: reference={len(re_)} fast={len(fe)}"
+    )
+
+
+def cross_check_timing(config, trace, max_instructions=None, warmup=0):
+    """Run both :class:`TimingSimulator` modes over *trace* in lockstep.
+
+    Compares the full ``SimStats`` dict and the complete (unbounded)
+    cycle-event streams — every fetch/dispatch/slice/commit timestamp
+    of every instruction — and raises :class:`TimingDivergence` on any
+    difference.  Returns the fast path's stats on agreement.
+    """
+    from repro.timing.simulator import TimingSimulator
+
+    records = trace if isinstance(trace, list) else list(trace)
+    ref = TimingSimulator(config, events=EventTrace(capacity=None), mode="reference")
+    fast = TimingSimulator(config, events=EventTrace(capacity=None), mode="fast")
+    ref_stats = ref.run(records, max_instructions, warmup=warmup)
+    fast_stats = fast.run(records, max_instructions, warmup=warmup)
+    _diff_dicts(f"SimStats[{config.name}]", ref_stats.to_dict(), fast_stats.to_dict())
+    _diff_events(ref.events, fast.events)
+    return fast_stats
+
+
+def cross_check_detailed(config, trace, max_instructions=None):
+    """Run both :class:`DetailedSimulator` modes over *trace* in lockstep.
+
+    Compares every ``DetailedStats`` field (cycles, issued, forwards,
+    the full CPI stack) and raises :class:`TimingDivergence` on any
+    difference.  Returns ``(fast_stats, skipped_cycles)``.
+    """
+    from dataclasses import asdict
+
+    from repro.timing.detailed import DetailedSimulator
+
+    records = trace if isinstance(trace, list) else list(trace)
+    ref = DetailedSimulator(config, mode="reference")
+    fast = DetailedSimulator(config, mode="fast")
+    ref_stats = ref.run(records, max_instructions)
+    fast_stats = fast.run(records, max_instructions)
+    _diff_dicts(f"DetailedStats[{config.name}]", asdict(ref_stats), asdict(fast_stats))
+    return fast_stats, fast._skipped_cycles
+
+
+__all__ = [
+    "TIMING_ENV",
+    "TimingDivergence",
+    "bind_plan",
+    "cross_check_detailed",
+    "cross_check_timing",
+    "default_timing_mode",
+    "run_fast",
+    "set_timing_mode",
+    "timing_mode_override",
+]

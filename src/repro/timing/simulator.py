@@ -79,6 +79,7 @@ class TimingSimulator:
         config: MachineConfig,
         record_timeline: bool = False,
         events: EventTrace | None = None,
+        mode: str | None = None,
     ) -> None:
         self.config = config
         self.stats = SimStats(config_name=config.name)
@@ -92,6 +93,9 @@ class TimingSimulator:
         if events is None and record_timeline:
             events = EventTrace(capacity=None)
         self.events = events
+        #: Single cheap flag guarding every event-emission site in the
+        #: hot loops: disabled observability costs one local branch.
+        self._obs_enabled = events is not None
         self._emit_text = record_timeline
         self._timeline_cache: tuple[int, list] | None = None
         self.predictor = FrontEndPredictor(
@@ -153,6 +157,28 @@ class TimingSimulator:
         self._claim_ptm = 0
         self._claim_mem = 0
         self._claim_slice = 0
+        # Timing-mode dispatch (mirrors the emulator's REPRO_DISPATCH
+        # pattern): "fast" replays pre-bound per-static-instruction
+        # schedulers (repro.timing.fastpath), "reference" runs the
+        # original loop below — the golden model the fast path is
+        # lockstep-checked against.
+        if mode is None:
+            from repro.timing.fastpath import default_timing_mode
+
+            mode = default_timing_mode()
+        self.mode = (
+            "reference" if str(mode).strip().lower() in ("reference", "ref", "slow") else "fast"
+        )
+        # Fast-path state: flat reg-ready scoreboard (``reg * S + slice``
+        # — no per-call list allocations), the per-static-instruction
+        # plan cache, and the word -> youngest-store forwarding map for
+        # the incremental LSQ window.
+        self._plans: dict = {}
+        self._scheds: dict = {}
+        self._rr: list[int] = [0] * (NUM_EXT_REGS * S)
+        self._fwd: dict[int, _StoreEntry] = {}
+        self._store_agen: tuple[int, ...] = ()
+        self._store_data = 0
 
     @property
     def timeline(self):
@@ -327,7 +353,7 @@ class TimingSimulator:
                 release = t
         if release < full and early_helped:
             self.stats.lsd_early_releases += 1
-            if self.events is not None:
+            if self._obs_enabled:
                 self.events.emit(
                     EARLY_RELEASE, release, self.seq, pc, {"full_release": full}
                 )
@@ -335,11 +361,23 @@ class TimingSimulator:
 
     def _load_data_ready(self, record: TraceRecord, agen: tuple[int, ...], dispatch: int) -> int:
         """Schedule the memory access of a load; returns data-ready cycle."""
+        release, forward, relevant = self._lsd_release(agen, record.mem_addr, dispatch, record.pc)
+        return self._load_access(record, agen, release, forward, relevant)
+
+    def _load_access(self, record: TraceRecord, agen: tuple[int, ...], release: int, forward, relevant) -> int:
+        """Memory-access tail of a load, shared by both timing modes.
+
+        *relevant* is the visible store window (oldest -> youngest);
+        the fast path passes its incrementally-pruned deque, the
+        reference path the per-load filtered list — the §5.1/PTM/miss
+        modelling below is shared verbatim so the two modes can only
+        diverge in the release computation, which the lockstep
+        cross-check covers.
+        """
         cfg = self.config
         stats = self.stats
         addr = record.mem_addr
         a_full = agen[-1]
-        release, forward, relevant = self._lsd_release(agen, addr, dispatch, record.pc)
         if forward is not None:
             stats.store_forwards += 1
             if self.spec_forward:
@@ -373,7 +411,7 @@ class TimingSimulator:
                 )
                 release = max(release, a_full) + cfg.replay_penalty
                 self._claim_lsd += cfg.replay_penalty
-                if self.events is not None:
+                if self._obs_enabled:
                     self.events.emit(
                         REPLAY, release, self.seq, record.pc, {"reason": "spec_forward"}
                     )
@@ -403,7 +441,7 @@ class TimingSimulator:
                 # access repeats and mis-scheduled consumers replay.
                 stats.ptm_way_mispredicts += 1
                 self._claim_ptm += cfg.l1_latency + cfg.replay_penalty
-                if self.events is not None:
+                if self._obs_enabled:
                     self.events.emit(
                         WAY_MISPREDICT,
                         access_start + cfg.l1_latency,
@@ -415,7 +453,7 @@ class TimingSimulator:
             stats.l1d_misses += 1
             stats.load_replays += 1
             self._claim_mem += (result.latency - cfg.l1_latency) + cfg.replay_penalty
-            if self.events is not None:
+            if self._obs_enabled:
                 self.events.emit(
                     REPLAY, access_start + result.latency, self.seq, record.pc,
                     {"reason": "l1d_miss"},
@@ -440,7 +478,7 @@ class TimingSimulator:
         stats.l1d_misses += 1
         stats.load_replays += 1
         self._claim_mem += (result.latency - cfg.l1_latency) + cfg.replay_penalty
-        if self.events is not None:
+        if self._obs_enabled:
             self.events.emit(
                 REPLAY, access_start + result.latency, self.seq, record.pc,
                 {"reason": "l1d_miss"},
@@ -466,7 +504,27 @@ class TimingSimulator:
         An optional :class:`~repro.harness.watchdog.Watchdog` bounds the
         simulation with hard step/wall-clock budgets, raising
         :class:`~repro.harness.errors.RunawayExecution` on breach.
+
+        Dispatches on :attr:`mode`: the fast path replays pre-bound
+        per-static-instruction schedulers
+        (:func:`repro.timing.fastpath.run_fast`), the reference path is
+        :meth:`run_reference` — the golden model the fast path is
+        lockstep-checked against.
         """
+        if self.mode == "fast":
+            from repro.timing.fastpath import run_fast
+
+            return run_fast(self, trace, max_instructions, warmup, watchdog)
+        return self.run_reference(trace, max_instructions, warmup, watchdog)
+
+    def run_reference(
+        self,
+        trace: Iterable[TraceRecord],
+        max_instructions: int | None = None,
+        warmup: int = 0,
+        watchdog=None,
+    ) -> SimStats:
+        """Reference main loop (golden model for the fast path)."""
         cfg = self.config
         stats = self.stats
         S = self.num_slices
@@ -786,6 +844,7 @@ def simulate(
     warmup: int = 0,
     watchdog=None,
     events: EventTrace | None = None,
+    mode: str | None = None,
 ) -> SimStats:
     """Convenience wrapper: run one configuration over a trace.
 
@@ -793,22 +852,22 @@ def simulate(
     ``--trace-events`` / ``--profile``), the run is wall-timed, its
     counters accumulate into the session registry, and cycle events
     land in the session ring buffer; with no session the only cost is
-    one ``None`` check.
+    one ``None`` check.  *mode* overrides the ``REPRO_TIMING``
+    fast/reference selection for this run.
     """
     from repro.obs.session import active_session
 
     session = active_session()
     if session is None:
-        return TimingSimulator(config, events=events).run(
+        return TimingSimulator(config, events=events, mode=mode).run(
             trace, max_instructions, warmup=warmup, watchdog=watchdog
         )
     if events is None:
         events = session.events
     t0 = time.perf_counter()
-    stats = TimingSimulator(config, events=events).run(
-        trace, max_instructions, warmup=warmup, watchdog=watchdog
-    )
-    session.record_run(stats, time.perf_counter() - t0)
+    sim = TimingSimulator(config, events=events, mode=mode)
+    stats = sim.run(trace, max_instructions, warmup=warmup, watchdog=watchdog)
+    session.record_run(stats, time.perf_counter() - t0, timing_mode=sim.mode)
     return stats
 
 
