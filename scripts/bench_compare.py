@@ -69,6 +69,7 @@ def compare(baseline: dict, current: dict, threshold: float, strict_throughput: 
 
     lines.append("")
     lines.extend(_trace_cache_lines(baseline, current))
+    lines.extend(_supervisor_lines(baseline, current))
     for name in sorted(set(baseline["benchmarks"]) & set(current["benchmarks"])):
         base = float(baseline["benchmarks"][name].get("instructions_per_second", 0.0))
         cur = float(current["benchmarks"][name].get("instructions_per_second", 0.0))
@@ -193,6 +194,37 @@ def _trace_cache_lines(baseline: dict, current: dict) -> list[str]:
             f"  {'delta':<8s} trace cache: {ch - bh:+d} hits, {cm - bm:+d} misses "
             f"(informational)"
         )
+    lines.append("")
+    return lines
+
+
+def _supervisor_lines(baseline: dict, current: dict) -> list[str]:
+    """Informational sweep-supervision comparison from the manifests.
+
+    Retries and respawns both add wall time (re-executed cells, worker
+    restart latency), and a resumed run executes fewer cells than a cold
+    one — all of which skews throughput numbers.  Surfacing the counters
+    next to the perf delta explains such skews without gating on them:
+    supervision overhead is workload- and fault-dependent by design.
+    """
+    lines = []
+    found = False
+    for label, snap in (("baseline", baseline), ("current", current)):
+        sup = snap.get("manifest", {}).get("supervisor") or {}
+        if not sup:
+            lines.append(f"  {label:<8s} supervisor: no supervised sweep in snapshot")
+            continue
+        found = True
+        rate = float(sup.get("resume_hit_rate", 0.0))
+        lines.append(
+            f"  {label:<8s} supervisor: {sup.get('cells_executed', 0)}/"
+            f"{sup.get('cells_total', 0)} cells executed, "
+            f"{sup.get('resume_hits', 0)} resumed ({rate:.0%} journal hit rate), "
+            f"{sup.get('respawns', 0)} respawns, {sup.get('retries', 0)} retries, "
+            f"{sup.get('quarantined', 0)} quarantined (informational)"
+        )
+    if not found:
+        return []
     lines.append("")
     return lines
 

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Chaos campaign: prove the sweep orchestrator's recovery invariant.
+
+Usage::
+
+    python scripts/chaos_sweep.py [--benchmarks gzip mcf] [--configs ideal bitslice2]
+        [--instructions 1200] [--jobs 2] [--seed 7]
+        [--kill-rate 0.4] [--corrupt-rate 0.2] [--orch-kill-after 2]
+        [--workdir DIR] [--report FILE]
+
+The invariant under test (the whole point of the supervised, journaled
+orchestrator): **no amount of seeded process chaos may change the
+numbers.**  Concretely:
+
+1. run the sweep cleanly, sequentially, in-process — the reference;
+2. run it as a subprocess (``repro-experiment sweep --journal ...``)
+   with ``$REPRO_CHAOS`` SIGKILLing/corrupting workers *and*
+   ``$REPRO_CHAOS_ORCH_KILL`` SIGKILLing the orchestrator itself after
+   N completed cells (expected exit: SIGKILL);
+3. resume it (``--resume``) under the *same* worker chaos plan;
+4. assert the resumed run's stdout (the rendered sweep table) is
+   **byte-identical** to the clean reference's, and that the resume
+   **re-executed zero** of the cells the killed run completed.
+
+The script exits non-zero if any assertion fails and writes a small
+JSON report (journal summary, per-phase exit codes, verdict) for CI to
+archive next to the journal itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments import sweep as sweep_mod  # noqa: E402
+from repro.experiments.journal import SweepJournal  # noqa: E402
+from repro.experiments.supervisor import ORCH_KILL_ENV_VAR  # noqa: E402
+from repro.harness.faults import CHAOS_ENV_VAR, ProcessFaultPlan  # noqa: E402
+
+
+def parse_args(argv=None):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--benchmarks", nargs="+", default=["gzip", "mcf"])
+    p.add_argument("--configs", nargs="+", default=["ideal", "bitslice2"])
+    p.add_argument("--instructions", type=int, default=1200)
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7, help="chaos plan seed")
+    p.add_argument("--kill-rate", type=float, default=0.4,
+                   help="per-attempt probability a worker is SIGKILLed mid-cell")
+    p.add_argument("--corrupt-rate", type=float, default=0.2,
+                   help="per-attempt probability a worker result is bit-flipped")
+    p.add_argument("--orch-kill-after", type=int, default=2,
+                   help="SIGKILL the orchestrator after N completed cells")
+    p.add_argument("--max-cell-retries", type=int, default=10,
+                   help="retry budget per cell (sized so seeded chaos converges)")
+    p.add_argument("--workdir", default="chaos-artifacts",
+                   help="directory for the journal, outputs and report")
+    p.add_argument("--report", default=None,
+                   help="JSON verdict path (default <workdir>/chaos_report.json)")
+    return p.parse_args(argv)
+
+
+def sweep_argv(args, journal_flag: str, journal: Path) -> list[str]:
+    return [
+        sys.executable, "-m", "repro.experiments.cli", "sweep",
+        "-b", *args.benchmarks,
+        "--configs", *args.configs,
+        "-n", str(args.instructions),
+        "--jobs", str(args.jobs),
+        "--max-cell-retries", str(args.max_cell_retries),
+        "--backoff", "0.05",
+        journal_flag, str(journal),
+    ]
+
+
+def run_phase(cmd: list[str], env: dict, out_path: Path, err_path: Path) -> int:
+    with open(out_path, "wb") as out, open(err_path, "wb") as err:
+        proc = subprocess.run(cmd, stdout=out, stderr=err, env=env, cwd=str(REPO))
+    return proc.returncode
+
+
+def clean_reference(args) -> str:
+    """The uninterrupted truth: sequential, chaos-free, in-process."""
+    result = sweep_mod.run(
+        args.benchmarks,
+        args.configs,
+        max_steps=args.instructions,
+        jobs=1,
+        policy=None,
+    )
+    assert not result.failures, f"clean reference run failed: {result.failures}"
+    return result.render() + "\n\n"
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    # Absolute: sweep subprocesses run with cwd=REPO, and the journal
+    # must land where this process (and CI's artifact upload) expects.
+    workdir = Path(args.workdir).resolve()
+    workdir.mkdir(parents=True, exist_ok=True)
+    journal = workdir / "chaos.journal.json"
+    report_path = Path(args.report) if args.report else workdir / "chaos_report.json"
+    journal.unlink(missing_ok=True)
+    shutil.rmtree(journal.with_name(journal.name + ".results"), ignore_errors=True)
+
+    plan = ProcessFaultPlan(
+        seed=args.seed, kill_rate=args.kill_rate, corrupt_rate=args.corrupt_rate
+    )
+    base_env = {k: v for k, v in os.environ.items() if k != ORCH_KILL_ENV_VAR}
+    base_env[CHAOS_ENV_VAR] = plan.to_spec()
+    base_env["PYTHONPATH"] = str(REPO / "src")
+
+    print(f"[chaos] reference: clean sequential sweep "
+          f"({len(args.benchmarks)}x{len(args.configs)} cells)", flush=True)
+    reference = clean_reference(args)
+
+    print(f"[chaos] phase 1: chaotic sweep, orchestrator SIGKILLed after "
+          f"{args.orch_kill_after} cells (plan: {plan.to_spec()})", flush=True)
+    env1 = dict(base_env)
+    env1[ORCH_KILL_ENV_VAR] = str(args.orch_kill_after)
+    rc1 = run_phase(
+        sweep_argv(args, "--journal", journal), env1,
+        workdir / "phase1.out", workdir / "phase1.err",
+    )
+    phase1_killed = rc1 == -signal.SIGKILL or rc1 == 128 + signal.SIGKILL
+
+    mid = SweepJournal.load(journal)
+    done_before_resume = {c.key for c in mid.cells if c.state == "done"}
+    print(f"[chaos] phase 1 exit {rc1}; journal has "
+          f"{len(done_before_resume)} done / {len(mid.cells)} cells", flush=True)
+
+    print("[chaos] phase 2: resume under the same worker chaos", flush=True)
+    rc2 = run_phase(
+        sweep_argv(args, "--resume", journal), base_env,
+        workdir / "phase2.out", workdir / "phase2.err",
+    )
+
+    resumed_out = (workdir / "phase2.out").read_text()
+    final = SweepJournal.load(journal)
+    summary = final.summary
+
+    checks = {
+        "orchestrator_was_killed": phase1_killed,
+        "resume_exit_zero": rc2 == 0,
+        "output_byte_identical": resumed_out == reference,
+        "zero_reexecution": (
+            summary.get("resume_hits") == len(done_before_resume)
+            and summary.get("cells_executed") == len(mid.cells) - len(done_before_resume)
+        ),
+        "all_cells_done": all(c.state == "done" for c in final.cells),
+    }
+    verdict = all(checks.values())
+
+    report = {
+        "plan": plan.to_spec(),
+        "orch_kill_after": args.orch_kill_after,
+        "phase_exit_codes": {"chaos": rc1, "resume": rc2},
+        "cells_done_before_resume": len(done_before_resume),
+        "cells_total": len(mid.cells),
+        "journal_summary": summary,
+        "checks": checks,
+        "verdict": "PASS" if verdict else "FAIL",
+    }
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[chaos] report written to {report_path}", flush=True)
+    for name, ok in checks.items():
+        print(f"[chaos]   {name}: {'ok' if ok else 'FAILED'}", flush=True)
+    if not checks["output_byte_identical"]:
+        print("[chaos] ---- reference ----\n" + reference, flush=True)
+        print("[chaos] ---- resumed ----\n" + resumed_out, flush=True)
+    print(f"[chaos] {report['verdict']}", flush=True)
+    return 0 if verdict else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,7 @@ from repro.experiments.runner import (
 from repro.workloads import BENCHMARK_NAMES
 from repro.workloads.suite import PROFILES
 
-EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig6", "fig11", "fig12", "workloads", "inject", "all")
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig4", "fig6", "fig11", "fig12", "workloads", "inject", "sweep", "all")
 
 #: Default fault-campaign size (also the CI smoke-campaign size).
 DEFAULT_FAULTS = 200
@@ -137,6 +137,30 @@ def _parser() -> argparse.ArgumentParser:
         help="timing-layer implementation: pre-bound fast path (default) or "
              "the golden reference loop (overrides $REPRO_TIMING)",
     )
+    sweep = p.add_argument_group("supervised sweep (docs/robustness.md)")
+    sweep.add_argument(
+        "--configs", nargs="+", default=None, metavar="NAME",
+        help="machine configs for the 'sweep' experiment (default "
+             "ideal pipe4 bitslice4; available: ideal pipe2 pipe4 bitslice2 bitslice4)",
+    )
+    sweep.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="crash-safe sweep journal for the 'sweep' experiment "
+             "(atomic + checksummed; makes the run kill-resumable)",
+    )
+    sweep.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume a journaled sweep: replay completed cells from the "
+             "result store, dispatch only the remainder",
+    )
+    sweep.add_argument(
+        "--max-cell-retries", type=int, default=2, metavar="N",
+        help="extra attempts per sweep cell before quarantine (default 2)",
+    )
+    sweep.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base exponential-backoff delay between cell retries (default 0.25)",
+    )
     obs = p.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -196,6 +220,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.journal and args.resume:
+        print("--journal and --resume are mutually exclusive (resume names the journal)",
+              file=sys.stderr)
+        return 2
+    if args.max_cell_retries < 0:
+        print("--max-cell-retries must be >= 0", file=sys.stderr)
+        return 2
     trace_cache.configure(
         args.trace_cache, enabled=False if args.no_trace_cache else None
     )
@@ -228,6 +259,7 @@ def _write_obs_outputs(args, session, argv) -> None:
     event trace (JSONL + Perfetto), and the BENCH_<run> perf snapshot."""
     import time
 
+    from repro.experiments.supervisor import supervisor_stats
     from repro.harness.atomicio import atomic_write_text
     from repro.obs.manifest import build_manifest, write_bench_snapshot
     from repro.timing.fastpath import default_timing_mode
@@ -247,6 +279,7 @@ def _write_obs_outputs(args, session, argv) -> None:
             "jobs": args.jobs,
             "dispatch": default_dispatch(),
             "timing": default_timing_mode(),
+            "supervisor": supervisor_stats(),
         },
     )
     if args.profile:
@@ -309,7 +342,10 @@ def _run_experiments(args, n, prof, benches, argv) -> int:
     # of killing whichever experiment touches it first.  With --jobs N
     # the same pre-pass fans out across worker processes; either way
     # the experiments below replay preloaded traces.
-    if (args.keep_going or args.jobs > 1) and args.experiment not in ("fig1", "inject"):
+    # The 'sweep' experiment is excluded: its supervised workers collect
+    # (resiliently) inside each cell, and a pre-pass here would not
+    # reach them anyway under spawn.
+    if (args.keep_going or args.jobs > 1) and args.experiment not in ("fig1", "inject", "sweep"):
         target = benches or BENCHMARK_NAMES
         if args.jobs > 1:
             from repro.experiments.parallel import collect_parallel
@@ -360,6 +396,38 @@ def _run_experiments(args, n, prof, benches, argv) -> int:
             guarded("fig12", lambda: figure12.run(base=base))
     if args.experiment in ("workloads", "all"):
         guarded("workloads", lambda: workload_table.run(benches or BENCHMARK_NAMES, n, profile=prof))
+
+    if args.experiment == "sweep":
+        from repro.experiments import sweep as sweep_mod
+        from repro.experiments.supervisor import SupervisorPolicy
+
+        config_names = list(args.configs) if args.configs else list(sweep_mod.DEFAULT_CONFIGS)
+        try:
+            sweep_mod.parse_configs(config_names)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = sweep_mod.run(
+            benches or BENCHMARK_NAMES,
+            config_names,
+            max_steps=n,
+            jobs=args.jobs,
+            profile=prof,
+            journal_path=args.resume or args.journal,
+            resume=bool(args.resume),
+            policy=SupervisorPolicy(
+                max_cell_retries=args.max_cell_retries, backoff=args.backoff
+            ),
+            keep_going=args.keep_going,
+        )
+        emit("sweep", result)
+        if result.report is not None:
+            # Supervision counters go to stderr: they legitimately vary
+            # between a calm run and a chaotic one, while stdout stays
+            # byte-comparable across kill-resume (the chaos invariant).
+            print(result.report.render(), file=sys.stderr)
+        failures.extend(result.failures)
+        degraded.extend(result.degraded)
 
     campaign_failed = False
     if args.experiment == "inject":

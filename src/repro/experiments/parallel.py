@@ -2,8 +2,9 @@
 
 Trace collection and timing simulation are pure functions of their
 inputs, so a sweep's (benchmark × configuration) grid is embarrassingly
-parallel.  This module fans cells out over a ``multiprocessing`` pool
-(the CLI's ``--jobs N``) and merges the results with the commutative
+parallel.  This module fans cells out over the supervised worker pool
+of :mod:`repro.experiments.supervisor` (the CLI's ``--jobs N``) and
+merges the results with the commutative
 :meth:`repro.timing.stats.SimStats.merge`, so parallel totals are
 bit-identical to a sequential run regardless of completion order.
 
@@ -12,12 +13,23 @@ Design constraints honoured here:
 * **Explicit state inheritance** — the runner's wall-clock timeout and
   per-benchmark budget overrides, and the trace cache's configuration,
   live in module globals that a ``spawn``-ed worker would silently
-  lose.  ``_worker_init`` re-applies all of them in every worker, so a
-  ``--timeout 60 --jobs 8`` run enforces the same budget in all eight
-  processes.
+  lose.  :func:`repro.experiments.supervisor.apply_worker_state`
+  re-applies all of them in every worker (and every *respawned*
+  worker), so a ``--timeout 60 --jobs 8`` run enforces the same budget
+  in all eight processes.
 * **Failure isolation** — a crashing workload inside a worker becomes
   the same :class:`FailureRecord` a sequential ``--keep-going`` run
-  would produce; one bad benchmark never takes down the pool.
+  would produce; one bad benchmark never takes down the pool.  A
+  worker that *dies* (segfault, OOM kill) surfaces the same way — the
+  supervisor reaps it and reports a ``WorkerCrash`` record instead of
+  hanging the sweep, which the bare ``multiprocessing.Pool.map`` this
+  module used to wrap would do.
+* **Interruption safety** — Ctrl-C used to be able to orphan or hang
+  the pool: the terminal delivers SIGINT to the whole process group,
+  workers died mid-task, and ``map`` blocked forever on results that
+  would never arrive.  Supervised workers ignore SIGINT; the parent
+  turns it into a drain that terminates every worker before raising
+  ``KeyboardInterrupt``.
 * **Cheap transport** — traces travel between processes as the packed
   numpy arrays of :mod:`repro.emulator.tracefile` (a few MB), not as
   pickled ``TraceRecord`` lists (hundreds of MB), and are re-inflated
@@ -33,40 +45,32 @@ from dataclasses import dataclass
 from repro.emulator.tracefile import pack_trace, unpack_trace
 from repro.experiments import runner, trace_cache
 from repro.experiments.runner import FailureRecord
+from repro.experiments.supervisor import (
+    PoolTask,
+    SupervisedPool,
+    SupervisorPolicy,
+    apply_worker_state,
+    current_worker_state,
+)
 from repro.harness.errors import TraceCorruption
-from repro.timing.fastpath import timing_mode_override
 from repro.timing.stats import SimStats
 
 #: ``spawn`` everywhere: identical worker lifecycle on every platform,
 #: and no accidental fork-time inheritance masking a missing initarg.
 _MP_CONTEXT = "spawn"
 
+#: Backwards-compatible alias: the worker-state re-application now
+#: lives with the supervisor (which also needs it at respawn time).
+_worker_init = apply_worker_state
+
+#: These entry points keep the pre-supervisor behaviour: no automatic
+#: cell retries (``run_sweep`` is the retrying, journaled orchestrator).
+_PASSTHROUGH_POLICY = SupervisorPolicy(max_cell_retries=0, backoff=0.0)
+
 
 def default_jobs() -> int:
     """A sane worker count: physical parallelism, small floor."""
     return max(1, multiprocessing.cpu_count() - 1)
-
-
-def _worker_init(
-    wall_timeout, budget_overrides, cache_dir, cache_enabled, timing_mode=None
-) -> None:
-    """Re-apply parent-process module state inside a fresh worker.
-
-    Everything the runner keeps in globals must be passed explicitly:
-    a spawned interpreter starts from ``import repro``, not from a copy
-    of the parent's memory.  That includes the timing-layer mode
-    override (``--timing`` / :func:`repro.timing.fastpath.set_timing_mode`):
-    workers still read ``$REPRO_TIMING`` themselves, but a programmatic
-    override would otherwise silently vanish under ``spawn``.
-    """
-    runner.set_wall_timeout(wall_timeout)
-    for name, cap in budget_overrides.items():
-        runner.set_budget_override(name, cap)
-    trace_cache.configure(cache_dir, cache_enabled)
-    if timing_mode is not None:
-        from repro.timing.fastpath import set_timing_mode
-
-        set_timing_mode(timing_mode)
 
 
 @dataclass(frozen=True)
@@ -123,21 +127,18 @@ def collect_parallel(
     the same semantics as the sequential ``--keep-going`` pre-pass.
     """
     names = list(names)
-    tasks = [(name, max_steps, iters, skip, profile) for name in names]
-    enabled = trace_cache.enabled()
-    ctx = multiprocessing.get_context(_MP_CONTEXT)
-    with ctx.Pool(
-        processes=min(jobs, len(tasks)) or 1,
-        initializer=_worker_init,
-        initargs=(
-            runner.wall_timeout(),
-            dict(runner._budget_overrides),
-            str(trace_cache.cache_dir()) if enabled else None,
-            enabled,
-            timing_mode_override(),
-        ),
+    tasks = [
+        PoolTask(
+            id=name,
+            fn="repro.experiments.parallel:_collect_worker",
+            payload=(name, max_steps, iters, skip, profile),
+        )
+        for name in names
+    ]
+    with SupervisedPool(
+        jobs, policy=_PASSTHROUGH_POLICY, init_state=current_worker_state()
     ) as pool:
-        results = pool.map(_collect_worker, tasks)
+        outcomes = pool.run(tasks)
 
     from repro.obs.session import active_session
 
@@ -145,7 +146,19 @@ def collect_parallel(
     surviving: list[str] = []
     failures: list[FailureRecord] = []
     degraded: list[FailureRecord] = []
-    for result in results:
+    for name in names:
+        outcome = outcomes.get(name)
+        if outcome is None:  # pragma: no cover - drain interrupts before here
+            continue
+        if not outcome.ok:
+            failures.append(
+                FailureRecord(
+                    benchmark=name, stage="collect",
+                    error=outcome.error, message=outcome.message,
+                )
+            )
+            continue
+        result = outcome.value
         trace_cache.add_stats(result.cache_hits, result.cache_misses)
         if result.arrays is None:
             failures.append(result.failure)
@@ -209,30 +222,40 @@ def run_cells(
     failure raises.  Per-config totals merged from the grid are
     bit-identical to a sequential sweep because ``SimStats.merge`` is
     commutative and associative.
+
+    For journaled, resumable, retrying sweeps use
+    :func:`repro.experiments.supervisor.run_sweep` instead; this entry
+    point keeps the simple fail-fast semantics.
     """
     tasks = [
-        (name, config, max_steps, warmup, iters, skip, profile)
+        PoolTask(
+            id=f"{name}|{config.name}",
+            fn="repro.experiments.parallel:_simulate_cell",
+            payload=(name, config, max_steps, warmup, iters, skip, profile),
+        )
         for name in names
         for config in configs
     ]
-    enabled = trace_cache.enabled()
-    ctx = multiprocessing.get_context(_MP_CONTEXT)
-    with ctx.Pool(
-        processes=min(jobs, len(tasks)) or 1,
-        initializer=_worker_init,
-        initargs=(
-            runner.wall_timeout(),
-            dict(runner._budget_overrides),
-            str(trace_cache.cache_dir()) if enabled else None,
-            enabled,
-            timing_mode_override(),
-        ),
+    with SupervisedPool(
+        jobs, policy=_PASSTHROUGH_POLICY, init_state=current_worker_state()
     ) as pool:
-        results = pool.map(_simulate_cell, tasks)
+        outcomes = pool.run(tasks)
 
     grid: dict[str, dict[str, SimStats]] = {}
     failures: list[FailureRecord] = []
-    for name, config_name, stats, failure in results:
+    for task in tasks:
+        outcome = outcomes.get(task.id)
+        if outcome is None:  # pragma: no cover - drain interrupts before here
+            continue
+        if outcome.ok:
+            name, config_name, stats, failure = outcome.value
+        else:
+            name, config, *_ = task.payload
+            name, config_name, stats = name, config.name, None
+            failure = FailureRecord(
+                benchmark=name, stage=f"simulate[{config_name}]",
+                error=outcome.error, message=outcome.message,
+            )
         if failure is not None:
             if not keep_going:
                 raise RuntimeError(failure.describe())

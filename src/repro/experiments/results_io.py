@@ -31,11 +31,19 @@ FORMAT_VERSION = 2
 OLDEST_SUPPORTED_VERSION = 1
 
 
-def _payload_checksum(payload: dict) -> str:
-    """SHA-256 over the canonical JSON of the payload sans checksum."""
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of the payload sans checksum.
+
+    Shared with the sweep journal (:mod:`repro.experiments.journal`),
+    which embeds the same self-checksum in its own artifacts.
+    """
     body = {k: v for k, v in payload.items() if k != "checksum"}
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+#: Backwards-compatible private alias (pre-journal name).
+_payload_checksum = payload_checksum
 
 
 def rows_to_json(experiment: str, rows, metadata: dict | None = None) -> str:

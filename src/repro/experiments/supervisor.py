@@ -1,0 +1,901 @@
+"""Supervised, resumable sweep orchestration.
+
+:mod:`repro.experiments.parallel` made sweeps *parallel*; this module
+makes them *survivable*.  It replaces the bare ``multiprocessing.Pool``
+with a supervised worker pool and layers a crash-safe journal
+(:mod:`repro.experiments.journal`) on top, so a sweep tolerates:
+
+* **dead workers** — each worker runs over its own pipe with a
+  heartbeat; a SIGKILLed or hung worker is detected, its cell retried
+  on a respawned worker (with the parent's runner/cache/timing state
+  re-applied), and the respawn counted in ``sweep.supervisor.*``;
+* **poison cells** — a cell that keeps failing is retried with
+  exponential backoff plus seeded jitter and, past the retry budget,
+  quarantined as a :class:`~repro.experiments.runner.FailureRecord`
+  instead of hanging the sweep;
+* **corrupt transport** — every worker result travels as a
+  SHA-256-checksummed pickle; a corrupted payload is rejected and the
+  cell retried, never silently merged;
+* **orchestrator death** — :func:`run_sweep` journals every cell
+  transition atomically, so ``--resume <journal>`` replays completed
+  cells from the result store and re-dispatches only the remainder,
+  with merged stats bit-identical to an uninterrupted run;
+* **Ctrl-C / SIGTERM** — a drain flag stops dispatch, terminates the
+  workers, flushes the journal, and re-raises, so an interrupted
+  campaign is one ``--resume`` away from continuing.
+
+Chaos testing drives all of it: a
+:class:`~repro.harness.faults.ProcessFaultPlan` (``$REPRO_CHAOS``)
+injects seeded worker kills/stalls/corruptions, and
+``$REPRO_CHAOS_ORCH_KILL`` SIGKILLs the orchestrator itself after N
+completed cells — ``scripts/chaos_sweep.py`` asserts the byte-identical
+recovery invariant end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+import pickle
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from multiprocessing.sharedctypes import RawValue
+from pathlib import Path
+
+from repro.experiments import trace_cache
+from repro.experiments.journal import (
+    DONE,
+    FAILED,
+    PENDING,
+    QUARANTINED,
+    CellRecord,
+    SweepJournal,
+    cell_key,
+)
+from repro.harness.faults import ProcessFaultPlan
+from repro.timing.stats import SimStats
+
+#: Same ``spawn`` discipline as :mod:`repro.experiments.parallel`.
+_MP_CONTEXT = "spawn"
+
+#: Orchestrator-kill chaos knob: SIGKILL this process after N cells
+#: complete (used by ``scripts/chaos_sweep.py`` to test kill-resume).
+ORCH_KILL_ENV_VAR = "REPRO_CHAOS_ORCH_KILL"
+
+#: Supervisor poll tick (seconds) while waiting on busy workers.
+_TICK = 0.05
+
+
+# --------------------------------------------------------------------------
+# Policy and accounting
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Supervision knobs for one sweep.
+
+    ``max_cell_retries`` is the number of *extra* attempts a cell gets
+    beyond its first; past that it is quarantined.  Retry *n* is
+    delayed ``backoff * 2**(n-1)`` seconds plus seeded jitter (a
+    fraction of the delay), so a transiently sick host is not hammered
+    and simultaneous retries decorrelate deterministically.
+    """
+
+    max_cell_retries: int = 2
+    backoff: float = 0.25
+    backoff_jitter: float = 0.25        # fraction of the delay, seeded
+    cell_timeout: float | None = None   # wall seconds before a stalled cell is killed
+    heartbeat_interval: float = 0.5     # worker heartbeat period
+    heartbeat_timeout: float | None = 60.0  # stale-heartbeat kill threshold
+    seed: int = 2003
+
+    def retry_delay(self, task_id: str, attempt: int) -> float:
+        """Backoff before re-dispatching *task_id* after failed *attempt*."""
+        base = self.backoff * (2 ** max(attempt - 1, 0))
+        if base <= 0:
+            return 0.0
+        jitter = random.Random(f"{self.seed}|{task_id}|{attempt}|backoff").uniform(
+            0.0, self.backoff_jitter * base
+        )
+        return base + jitter
+
+
+@dataclass
+class SupervisorReport:
+    """Counters describing how much supervision one sweep needed."""
+
+    cells_total: int = 0
+    cells_executed: int = 0
+    resume_hits: int = 0
+    respawns: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    corrupt_results: int = 0
+    drained: bool = False
+
+    @property
+    def resume_hit_rate(self) -> float:
+        return self.resume_hits / self.cells_total if self.cells_total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "cells_total": self.cells_total,
+            "cells_executed": self.cells_executed,
+            "resume_hits": self.resume_hits,
+            "resume_hit_rate": self.resume_hit_rate,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "corrupt_results": self.corrupt_results,
+            "drained": self.drained,
+        }
+
+    def publish(self, registry) -> None:
+        """Accumulate into a metrics registry under ``sweep.supervisor.*``."""
+        counters = (
+            ("cells_total", "sweep cells in the grid"),
+            ("cells_executed", "cells executed this run (not resumed)"),
+            ("resume_hits", "cells replayed from a resumed journal"),
+            ("respawns", "workers respawned after death or stall"),
+            ("retries", "cell retry dispatches"),
+            ("quarantined", "poison cells quarantined after exhausting retries"),
+            ("corrupt_results", "worker results rejected by checksum"),
+        )
+        for name, help in counters:
+            registry.counter(f"sweep.supervisor.{name}", help=help).inc(getattr(self, name))
+        registry.gauge(
+            "sweep.supervisor.resume_hit_rate", help="fraction of cells served by --resume"
+        ).set(self.resume_hit_rate)
+
+    def render(self) -> str:
+        return (
+            f"supervisor: {self.cells_executed}/{self.cells_total} cells executed, "
+            f"{self.resume_hits} resumed ({self.resume_hit_rate:.0%} hit rate), "
+            f"{self.respawns} respawns, {self.retries} retries, "
+            f"{self.quarantined} quarantined, {self.corrupt_results} corrupt results"
+            + (" [drained on signal]" if self.drained else "")
+        )
+
+
+#: Last completed sweep's report, exported into bench manifests the way
+#: :func:`repro.experiments.trace_cache.stats` is.
+_last_report: SupervisorReport | None = None
+
+
+def last_report() -> SupervisorReport | None:
+    return _last_report
+
+
+def supervisor_stats() -> dict | None:
+    """Manifest form of the last sweep's supervision counters."""
+    return _last_report.to_dict() if _last_report is not None else None
+
+
+def reset_stats() -> None:
+    global _last_report
+    _last_report = None
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+def current_worker_state() -> tuple:
+    """Snapshot the parent module state every worker must re-apply.
+
+    The same tuple is used at first spawn and at every respawn, so a
+    replacement worker is indistinguishable from the one it replaces.
+    """
+    from repro.experiments import runner
+    from repro.timing.fastpath import timing_mode_override
+
+    enabled = trace_cache.enabled()
+    return (
+        runner.wall_timeout(),
+        dict(runner._budget_overrides),
+        str(trace_cache.cache_dir()) if enabled else None,
+        enabled,
+        timing_mode_override(),
+    )
+
+
+def apply_worker_state(
+    wall_timeout, budget_overrides, cache_dir, cache_enabled, timing_mode=None
+) -> None:
+    """Re-apply parent-process module state inside a fresh worker.
+
+    Everything the runner keeps in globals must be passed explicitly: a
+    spawned interpreter starts from ``import repro``, not from a copy
+    of the parent's memory.
+    """
+    from repro.experiments import runner
+
+    runner.set_wall_timeout(wall_timeout)
+    for name, cap in budget_overrides.items():
+        runner.set_budget_override(name, cap)
+    trace_cache.configure(cache_dir, cache_enabled)
+    if timing_mode is not None:
+        from repro.timing.fastpath import set_timing_mode
+
+        set_timing_mode(timing_mode)
+
+
+def _resolve(fn_name: str):
+    """Import a ``module:function`` task executor inside a worker."""
+    module, _, attr = fn_name.partition(":")
+    return getattr(importlib.import_module(module), attr)
+
+
+def _heartbeat_loop(hb, interval: float) -> None:
+    while True:
+        hb.value = time.monotonic()
+        time.sleep(interval)
+
+
+def _worker_main(conn, hb, init_state, fault_plan, heartbeat_interval) -> None:
+    """Worker loop: receive a task, execute it, send a checksummed reply.
+
+    The parent owns interruption (it terminates workers on drain), so
+    SIGINT — which a terminal delivers to the whole process group — is
+    ignored here; a worker must never die mid-``send`` with a torn
+    message because the user pressed Ctrl-C.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    apply_worker_state(*init_state)
+    threading.Thread(
+        target=_heartbeat_loop, args=(hb, heartbeat_interval), daemon=True
+    ).start()
+    executors: dict[str, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "exit":
+            return
+        _, task_id, attempt, fn_name, payload = msg
+        fault = fault_plan.decide(task_id, attempt) if fault_plan is not None else None
+        if fault == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault == "stall":
+            time.sleep(fault_plan.stall_seconds)
+        try:
+            fn = executors.get(fn_name)
+            if fn is None:
+                fn = executors[fn_name] = _resolve(fn_name)
+            value = fn(payload)
+        except Exception as exc:
+            reply = ("error", task_id, attempt, type(exc).__name__, str(exc))
+        else:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(blob).hexdigest()
+            if fault == "corrupt":
+                offset, mask = fault_plan.corrupt_byte(task_id, attempt, len(blob))
+                corrupted = bytearray(blob)
+                corrupted[offset] ^= mask
+                blob = bytes(corrupted)
+            reply = ("ok", task_id, attempt, blob, digest)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            # The parent is gone (e.g. the orchestrator itself was
+            # SIGKILLed under chaos); exit quietly — the journal makes
+            # this work recoverable, a traceback would just be noise.
+            return
+
+
+# --------------------------------------------------------------------------
+# The supervised pool
+# --------------------------------------------------------------------------
+
+@dataclass
+class PoolTask:
+    """One unit of work for :class:`SupervisedPool`."""
+
+    id: str
+    fn: str                 # "module:function" resolved inside the worker
+    payload: tuple
+    max_retries: int = 0
+
+
+@dataclass
+class TaskOutcome:
+    """Final fate of one task after supervision."""
+
+    task_id: str
+    value: object = None
+    error: str | None = None
+    message: str = ""
+    attempts: int = 0
+    quarantined: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _TaskState:
+    __slots__ = ("task", "attempts", "ready_at")
+
+    def __init__(self, task: PoolTask) -> None:
+        self.task = task
+        self.attempts = 0
+        self.ready_at = 0.0
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "hb", "state", "dispatched_at")
+
+    def __init__(self, proc, conn, hb) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.hb = hb
+        self.state: _TaskState | None = None
+        self.dispatched_at = 0.0
+
+
+class SupervisedPool:
+    """A worker pool that survives its workers.
+
+    Use as a context manager — ``__exit__`` force-terminates every
+    worker, so an exception (or Ctrl-C) anywhere in the sweep can never
+    leak orphaned processes::
+
+        with SupervisedPool(jobs, init_state=current_worker_state()) as pool:
+            outcomes = pool.run(tasks, on_event=...)
+
+    ``on_event(kind, task, info)`` observes the lifecycle —
+    ``dispatch`` (info: attempt), ``done`` (info: value), ``retry``
+    (info: message), ``failed`` (info: (error, message, quarantined)),
+    ``respawn`` (info: reason), ``corrupt`` (info: message), ``drain``
+    — which is how :func:`run_sweep` keeps its journal exact.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: SupervisorPolicy | None = None,
+        init_state: tuple | None = None,
+        fault_plan: ProcessFaultPlan | None = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.policy = policy or SupervisorPolicy()
+        self.init_state = init_state if init_state is not None else current_worker_state()
+        self.fault_plan = fault_plan
+        self._ctx = get_context(_MP_CONTEXT)
+        self._workers: list[_Worker] = []
+        self._drain = False
+        self._old_handlers: list[tuple[int, object]] = []
+
+    # ---------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Terminate and reap every worker (idempotent, never raises)."""
+        for worker in self._workers:
+            try:
+                worker.proc.terminate()
+            except Exception:
+                pass
+        for worker in self._workers:
+            try:
+                worker.proc.join(timeout=5.0)
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5.0)
+            except Exception:
+                pass
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers.clear()
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        hb = RawValue("d", 0.0)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, hb, self.init_state, self.fault_plan,
+                  self.policy.heartbeat_interval),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent must not hold the child end: EOF detection
+        return _Worker(proc, parent_conn, hb)
+
+    # ------------------------------------------------------------ signals
+
+    def _signal_drain(self, signum, frame) -> None:
+        self._drain = True
+
+    def _install_signals(self) -> None:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old_handlers.append((signum, signal.signal(signum, self._signal_drain)))
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+
+    def _restore_signals(self) -> None:
+        for signum, handler in self._old_handlers:
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover
+                pass
+        self._old_handlers.clear()
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, tasks, on_event=None) -> dict[str, TaskOutcome]:
+        """Supervise *tasks* to completion; returns ``{id: outcome}``.
+
+        Raises:
+            KeyboardInterrupt: a SIGINT/SIGTERM arrived; dispatch
+                stopped, workers were terminated and ``on_event`` saw a
+                ``drain`` — the caller flushes its journal and exits.
+        """
+        emit = on_event or (lambda kind, task, info: None)
+        tasks = list(tasks)
+        queue: list[_TaskState] = [_TaskState(t) for t in tasks]
+        waiting: list[_TaskState] = []
+        outcomes: dict[str, TaskOutcome] = {}
+        self._install_signals()
+        try:
+            want = min(self.jobs, len(tasks)) or 1
+            while len(self._workers) < want:
+                self._workers.append(self._spawn_worker())
+            while True:
+                now = time.monotonic()
+                for state in [s for s in waiting if s.ready_at <= now]:
+                    waiting.remove(state)
+                    queue.append(state)
+                if self._drain:
+                    break
+                for worker in self._workers:
+                    if worker.state is None and queue:
+                        self._dispatch(worker, queue.pop(0), outcomes, waiting, emit)
+                busy = [w for w in self._workers if w.state is not None]
+                if not busy:
+                    if waiting:
+                        next_ready = min(s.ready_at for s in waiting)
+                        time.sleep(min(max(next_ready - now, 0.0), _TICK) or 0.001)
+                        continue
+                    if queue:  # pragma: no cover - dispatch always drains it
+                        continue
+                    break
+                ready = connection.wait([w.conn for w in busy], timeout=_TICK)
+                for conn in ready:
+                    worker = next(w for w in self._workers if w.conn is conn)
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        self._worker_lost(worker, "worker process died", outcomes, waiting, emit)
+                        continue
+                    self._on_message(worker, msg, outcomes, waiting, emit)
+                self._check_liveness(outcomes, waiting, emit)
+            if self._drain:
+                emit("drain", None, None)
+                self.shutdown()
+                raise KeyboardInterrupt("sweep drained on SIGINT/SIGTERM")
+            return outcomes
+        finally:
+            self._restore_signals()
+
+    # ----------------------------------------------------------- plumbing
+
+    def _dispatch(self, worker: _Worker, state: _TaskState, outcomes, waiting, emit) -> None:
+        state.attempts += 1
+        worker.state = state
+        worker.dispatched_at = time.monotonic()
+        emit("dispatch", state.task, state.attempts)
+        try:
+            worker.conn.send(
+                ("task", state.task.id, state.attempts, state.task.fn, state.task.payload)
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover - spawn-time race
+            self._worker_lost(worker, "worker pipe broke at dispatch",
+                              outcomes, waiting, emit)
+
+    def _on_message(self, worker, msg, outcomes, waiting, emit) -> None:
+        state = worker.state
+        worker.state = None
+        kind = msg[0]
+        if state is None or msg[1] != state.task.id:  # pragma: no cover - protocol guard
+            return
+        if kind == "error":
+            _, _, _, error, message = msg
+            self._register_failure(state, error, message, outcomes, waiting, emit)
+            return
+        _, _, _, blob, digest = msg
+        if hashlib.sha256(blob).hexdigest() != digest:
+            emit("corrupt", state.task,
+                 f"result payload failed checksum on attempt {state.attempts}")
+            self._register_failure(
+                state, "ResultCorruption",
+                "worker result rejected by SHA-256 transport checksum",
+                outcomes, waiting, emit,
+            )
+            return
+        value = pickle.loads(blob)
+        outcomes[state.task.id] = TaskOutcome(
+            task_id=state.task.id, value=value, attempts=state.attempts
+        )
+        emit("done", state.task, value)
+
+    def _check_liveness(self, outcomes, waiting, emit) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.state is None:
+                continue
+            if not worker.proc.is_alive():
+                self._worker_lost(worker, "worker process died", outcomes, waiting, emit)
+                continue
+            age = now - worker.dispatched_at
+            if self.policy.cell_timeout is not None and age > self.policy.cell_timeout:
+                self._worker_lost(
+                    worker,
+                    f"cell exceeded its {self.policy.cell_timeout:g}s timeout (stalled worker)",
+                    outcomes, waiting, emit, kill=True,
+                )
+                continue
+            beat = worker.hb.value
+            if (
+                self.policy.heartbeat_timeout is not None
+                and beat > 0.0
+                and now - beat > self.policy.heartbeat_timeout
+            ):
+                self._worker_lost(
+                    worker,
+                    f"worker heartbeat silent for {now - beat:.1f}s",
+                    outcomes, waiting, emit, kill=True,
+                )
+
+    def _worker_lost(self, worker, reason, outcomes, waiting, emit, kill=False) -> None:
+        """A worker died or must die: reap it, respawn, retry its cell."""
+        state = worker.state
+        worker.state = None
+        if kill:
+            try:
+                worker.proc.kill()
+            except Exception:
+                pass
+        try:
+            worker.proc.join(timeout=5.0)
+        except Exception:
+            pass
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        self._workers.remove(worker)
+        if not self._drain:
+            self._workers.append(self._spawn_worker())
+            emit("respawn", state.task if state else None, reason)
+        if state is not None:
+            self._register_failure(state, "WorkerCrash", reason, outcomes, waiting, emit)
+
+    def _register_failure(self, state, error, message, outcomes, waiting, emit) -> None:
+        task = state.task
+        if state.attempts <= task.max_retries:
+            state.ready_at = time.monotonic() + self.policy.retry_delay(
+                task.id, state.attempts
+            )
+            waiting.append(state)
+            emit("retry", task, f"{error}: {message}")
+            return
+        quarantined = task.max_retries > 0
+        outcomes[task.id] = TaskOutcome(
+            task_id=task.id, error=error, message=message,
+            attempts=state.attempts, quarantined=quarantined,
+        )
+        emit("failed", task, (error, message, quarantined))
+
+
+# --------------------------------------------------------------------------
+# The journal-aware sweep orchestrator
+# --------------------------------------------------------------------------
+
+def _execute_cell(payload) -> tuple[SimStats, object]:
+    """One (benchmark × config) timing cell, inside a worker.
+
+    Collection is *resilient* (one bounded retry at a degraded budget —
+    the inner retry the supervisor's outer backoff retry composes
+    with); the degradation record, if any, rides back so the parent can
+    register the reduced budget and report the cell as degraded.
+    """
+    from repro.experiments import runner
+    from repro.timing.simulator import simulate
+
+    name, config, max_steps, warmup, iters, skip, profile = payload
+    trace, record = runner.collect_trace_resilient(
+        name, max_steps + warmup, iters=iters, skip=skip, profile=profile
+    )
+    if trace is None:
+        raise RuntimeError(record.describe())
+    stats = simulate(config, trace, warmup=warmup)
+    return stats, record
+
+
+class _NullJournal:
+    """In-memory stand-in when no ``--journal`` was requested."""
+
+    def __init__(self, cells: list[CellRecord]) -> None:
+        self.cells = cells
+        self.summary: dict = {}
+        self._by_key = {cell.key: cell for cell in cells}
+
+    def flush(self) -> None:
+        pass
+
+    def load_result(self, key: str):
+        return None
+
+    def mark_running(self, key: str) -> None:
+        cell = self._by_key[key]
+        cell.state, cell.attempts = "running", cell.attempts + 1
+
+    def mark_done(self, key: str, stats) -> None:
+        self._by_key[key].state = DONE
+
+    def mark_retry(self, key: str, error: str) -> None:
+        cell = self._by_key[key]
+        cell.state, cell.error = PENDING, error
+
+    def mark_failed(self, key: str, error: str, quarantined: bool = False) -> None:
+        cell = self._by_key[key]
+        cell.state, cell.error = (QUARANTINED if quarantined else FAILED), error
+
+
+def run_sweep(
+    names,
+    configs,
+    max_steps: int,
+    warmup: int,
+    jobs: int = 1,
+    iters: int | None = None,
+    skip: int | None = None,
+    profile: str = "ref",
+    journal_path: str | Path | None = None,
+    resume: bool = False,
+    policy: SupervisorPolicy | None = None,
+    fault_plan: ProcessFaultPlan | None = None,
+    keep_going: bool = False,
+):
+    """Run a (benchmark × config) grid under supervision, journaled.
+
+    Returns ``(grid, failures, degraded, report)``: the cell grid (as
+    :func:`repro.experiments.parallel.run_cells` returns it), the
+    quarantined/failed cells as ``FailureRecord``s, degraded-budget
+    records, and the :class:`SupervisorReport`.
+
+    With *journal_path* every cell transition is persisted atomically;
+    with *resume* a matching existing journal replays its completed
+    cells from the result store (zero re-execution) and re-dispatches
+    only the remainder — previously failed or quarantined cells get a
+    fresh retry budget.  Merged results are bit-identical to an
+    uninterrupted run because every cell is a pure function and
+    :meth:`SimStats.merge` is commutative.
+    """
+    global _last_report
+    from repro.experiments import runner
+    from repro.experiments.runner import FailureRecord
+    from repro.obs.session import active_session
+    from repro.workloads import get_workload
+
+    policy = policy or SupervisorPolicy()
+    if fault_plan is None:
+        fault_plan = ProcessFaultPlan.from_env()
+    orch_kill_after = int(os.environ.get(ORCH_KILL_ENV_VAR, "0") or 0)
+
+    names, configs = list(names), list(configs)
+    report = SupervisorReport(cells_total=len(names) * len(configs))
+    failures: list[FailureRecord] = []
+    degraded: list[FailureRecord] = []
+
+    # Cell identities: keyed over config contents and program image, so
+    # a journal can never be resumed against a semantically different
+    # sweep.
+    images: dict[str, str] = {}
+    ok_names: list[str] = []
+    for name in names:
+        try:
+            program = get_workload(name).build(iters=iters, profile=profile)
+            images[name] = trace_cache.program_digest(program)
+            ok_names.append(name)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            failures.append(
+                FailureRecord(benchmark=name, stage="build",
+                              error=type(exc).__name__, message=str(exc))
+            )
+            report.cells_total -= len(configs)
+    cells: list[CellRecord] = []
+    specs: dict[str, tuple] = {}
+    for name in ok_names:
+        for config in configs:
+            key = cell_key(name, config, max_steps, warmup, iters, skip, profile,
+                           images[name])
+            cells.append(CellRecord(benchmark=name, config=config.name, key=key))
+            specs[key] = (name, config, max_steps, warmup, iters, skip, profile)
+
+    if journal_path is not None:
+        path = Path(journal_path)
+        if resume and path.exists():
+            journal = SweepJournal.load(path)
+            journal.match_cells(cells)
+        else:
+            journal = SweepJournal.create(
+                path,
+                spec={
+                    "benchmarks": ok_names,
+                    "configs": [c.name for c in configs],
+                    "max_steps": max_steps,
+                    "warmup": warmup,
+                    "iters": iters,
+                    "skip": skip,
+                    "profile": profile,
+                    "images": images,
+                },
+                cells=cells,
+            )
+    else:
+        journal = _NullJournal(cells)
+
+    # Resume replay: completed cells come back from the result store;
+    # cells whose stored result is missing/corrupt are demoted and
+    # re-executed (never trusted); failed/quarantined cells get a fresh
+    # retry budget.
+    results: dict[str, SimStats] = {}
+    for cell in journal.cells:
+        if cell.state == DONE:
+            stats = journal.load_result(cell.key)
+            if stats is None:
+                report.corrupt_results += 1
+                cell.state = PENDING
+                cell.error = "stored result missing or corrupt; re-executing"
+            else:
+                results[cell.key] = stats
+                report.resume_hits += 1
+        elif cell.state in (FAILED, QUARANTINED):
+            cell.state = PENDING
+            cell.error = None
+    journal.flush()
+
+    pending = [cell for cell in journal.cells if cell.state == PENDING]
+    executed = 0
+    dispatched_at: dict[str, float] = {}
+    cell_wall: dict[str, float] = {}
+
+    def on_event(kind, task, info) -> None:
+        nonlocal executed
+        if kind == "dispatch":
+            if info > 1:
+                report.retries += 1
+            dispatched_at[task.id] = time.monotonic()
+            journal.mark_running(task.id)
+        elif kind == "done":
+            stats, record = info
+            cell_wall[task.id] = time.monotonic() - dispatched_at.get(task.id, time.monotonic())
+            if record is not None and record.degraded_steps is not None:
+                degraded.append(record)
+                runner.set_budget_override(record.benchmark, record.degraded_steps)
+            journal.mark_done(task.id, stats)
+            executed += 1
+            report.cells_executed += 1
+            if orch_kill_after and executed >= orch_kill_after:
+                # Chaos: the orchestrator itself dies mid-sweep, with
+                # the journal flushed through this very cell.
+                os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "retry":
+            journal.mark_retry(task.id, info)
+        elif kind == "corrupt":
+            report.corrupt_results += 1
+        elif kind == "respawn":
+            report.respawns += 1
+        elif kind == "failed":
+            error, message, quarantined = info
+            journal.mark_failed(task.id, f"{error}: {message}", quarantined=quarantined)
+
+    if pending:
+        tasks = [
+            PoolTask(
+                id=cell.key,
+                fn="repro.experiments.supervisor:_execute_cell",
+                payload=specs[cell.key],
+                max_retries=policy.max_cell_retries,
+            )
+            for cell in pending
+        ]
+        try:
+            with SupervisedPool(
+                jobs, policy=policy, init_state=current_worker_state(),
+                fault_plan=fault_plan,
+            ) as pool:
+                outcomes = pool.run(tasks, on_event=on_event)
+        except KeyboardInterrupt:
+            # Graceful drain: the journal already reflects every
+            # completed cell; record the interruption and re-raise.
+            report.drained = True
+            journal.summary = report.to_dict()
+            journal.flush()
+            _last_report = report
+            raise
+        for cell in pending:
+            outcome = outcomes.get(cell.key)
+            if outcome is None:  # pragma: no cover - drain leaves no outcome
+                continue
+            if outcome.ok:
+                stats, _record = outcome.value
+                results[cell.key] = stats
+            else:
+                if outcome.quarantined:
+                    report.quarantined += 1
+                failures.append(
+                    FailureRecord(
+                        benchmark=cell.benchmark,
+                        stage=f"simulate[{cell.config}]",
+                        error=outcome.error,
+                        message=outcome.message,
+                        retried=outcome.attempts > 1,
+                    )
+                )
+
+    # Canonical-order grid: identical regardless of completion order.
+    grid: dict[str, dict[str, SimStats]] = {}
+    for cell in cells:
+        stats = results.get(cell.key)
+        if stats is not None:
+            grid.setdefault(cell.benchmark, {})[cell.config] = stats
+
+    journal.summary = report.to_dict()
+    journal.flush()
+    _last_report = report
+    session = active_session()
+    if session is not None:
+        from repro.timing.fastpath import default_timing_mode
+
+        # Cells simulate inside workers (no session there), so the
+        # orchestrator records them for the BENCH snapshot here —
+        # executed cells with their dispatch-to-done wall time, resumed
+        # cells at zero wall (they cost one journal read).
+        mode = default_timing_mode()
+        for cell in cells:
+            stats = results.get(cell.key)
+            if stats is not None:
+                session.current_benchmark = cell.benchmark
+                session.record_run(stats, cell_wall.get(cell.key, 0.0), timing_mode=mode)
+        report.publish(session.registry)
+        session.note_supervisor(report)
+    if failures and not keep_going:
+        raise RuntimeError(failures[0].describe())
+    return grid, failures, degraded, report
+
+
+__all__ = [
+    "ORCH_KILL_ENV_VAR",
+    "PoolTask",
+    "SupervisedPool",
+    "SupervisorPolicy",
+    "SupervisorReport",
+    "TaskOutcome",
+    "apply_worker_state",
+    "current_worker_state",
+    "last_report",
+    "reset_stats",
+    "run_sweep",
+    "supervisor_stats",
+]

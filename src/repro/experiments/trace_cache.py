@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
 from pathlib import Path
 
 from repro.emulator.tracefile import FORMAT_VERSION, load_trace, save_trace
@@ -59,6 +60,11 @@ _configured_enabled: bool | None = None
 #: Process-wide hit/miss counters (exported into run manifests).
 _hits = 0
 _misses = 0
+#: Entries that failed validation and were dropped.  Recovery is
+#: automatic (re-collect), but it must never be *silent*: a climbing
+#: count means disk trouble, and a user deserves to know their warm
+#: cache is quietly rotting.
+_corrupt_entries = 0
 
 
 def configure(directory: str | Path | None = None, enabled: bool | None = None) -> None:
@@ -137,7 +143,7 @@ def load(name: str, key: str):
     (best-effort) and the caller re-collects — degraded performance,
     never degraded correctness.  Counters update as a side effect.
     """
-    global _hits, _misses
+    global _hits, _misses, _corrupt_entries
     if not enabled():
         return None
     path = entry_path(name, key)
@@ -146,8 +152,23 @@ def load(name: str, key: str):
     except FileNotFoundError:
         _misses += 1
         return None
-    except (TraceCorruption, OSError):
+    except (TraceCorruption, OSError) as exc:
         _misses += 1
+        _corrupt_entries += 1
+        print(
+            f"[trace-cache] warning: dropped corrupt entry {path.name} "
+            f"({type(exc).__name__}: {exc}); re-collecting {name}",
+            file=sys.stderr,
+            flush=True,
+        )
+        from repro.obs.session import active_session
+
+        session = active_session()
+        if session is not None:
+            session.registry.counter(
+                "cache.corrupt_entries",
+                help="trace-cache entries dropped after failing validation",
+            ).inc()
         try:
             path.unlink()
         except OSError:
@@ -177,21 +198,24 @@ def stats() -> dict:
         "dir": str(cache_dir()),
         "hits": _hits,
         "misses": _misses,
+        "corrupt_entries": _corrupt_entries,
     }
 
 
-def add_stats(hits: int = 0, misses: int = 0) -> None:
+def add_stats(hits: int = 0, misses: int = 0, corrupt_entries: int = 0) -> None:
     """Fold counters observed elsewhere (worker processes) into ours."""
-    global _hits, _misses
+    global _hits, _misses, _corrupt_entries
     _hits += hits
     _misses += misses
+    _corrupt_entries += corrupt_entries
 
 
 def reset_stats() -> None:
-    """Zero the hit/miss counters (tests, fresh sweeps)."""
-    global _hits, _misses
+    """Zero the hit/miss/corruption counters (tests, fresh sweeps)."""
+    global _hits, _misses, _corrupt_entries
     _hits = 0
     _misses = 0
+    _corrupt_entries = 0
 
 
 __all__ = [

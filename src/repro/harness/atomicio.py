@@ -16,8 +16,15 @@ import tempfile
 from pathlib import Path
 
 
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* via temp file + fsync + rename."""
+def atomic_write_text(path: Path, text: str, sync_dir: bool = False) -> None:
+    """Write *text* to *path* via temp file + fsync + rename.
+
+    With *sync_dir* the parent directory is fsynced after the rename as
+    well, so the *replacement itself* survives a host crash — the extra
+    guarantee a crash-safe journal needs (a metrics dump that reverts
+    to its previous version after a power cut is an inconvenience; a
+    sweep journal that does so would replay completed work).
+    """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp")
     try:
@@ -32,11 +39,24 @@ def atomic_write_text(path: Path, text: str) -> None:
         except OSError:
             pass
         raise
+    if sync_dir:
+        try:
+            dfd = os.open(str(path.parent) or ".", os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(dfd)
+        except OSError:  # pragma: no cover - fsync unsupported on dirs
+            pass
+        finally:
+            os.close(dfd)
 
 
-def atomic_write_json(path: Path, payload: dict, indent: int = 2) -> None:
+def atomic_write_json(path: Path, payload: dict, indent: int = 2, sync_dir: bool = False) -> None:
     """Serialize *payload* deterministically and write it atomically."""
-    atomic_write_text(Path(path), json.dumps(payload, indent=indent, sort_keys=True))
+    atomic_write_text(
+        Path(path), json.dumps(payload, indent=indent, sort_keys=True), sync_dir=sync_dir
+    )
 
 
 __all__ = ["atomic_write_json", "atomic_write_text"]

@@ -55,13 +55,35 @@ class ResultCorruption(HarnessError, ValueError):
     """
 
 
+class JournalCorruption(HarnessError, ValueError):
+    """A sweep journal failed checksum/format validation, or a resume
+    was attempted against a journal recorded for a different sweep
+    (grid, budgets, or program images changed).
+
+    Also a :class:`ValueError` for consistency with the other
+    serialization errors.
+    """
+
+
+class WorkerCrash(HarnessError):
+    """A supervised worker process died (or stalled past its heartbeat
+    budget) while holding a sweep cell.
+
+    Raised parent-side by the supervisor; the cell it interrupted is
+    retried on a respawned worker and, past the retry budget,
+    quarantined as a :class:`~repro.experiments.runner.FailureRecord`.
+    """
+
+
 __all__ = [
     "EmulatorError",
     "GuestSelfCheckFailure",
     "HarnessError",
     "IllegalInstruction",
+    "JournalCorruption",
     "MemoryFault",
     "ResultCorruption",
     "RunawayExecution",
     "TraceCorruption",
+    "WorkerCrash",
 ]

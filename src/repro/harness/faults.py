@@ -22,8 +22,9 @@ failure in CI is reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import os
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.slicing import (
     join_slices,
@@ -277,6 +278,102 @@ def run_campaign(
     return report
 
 
+# --------------------------------------------------------------------------
+# Process-level fault injection (chaos testing for the sweep supervisor)
+# --------------------------------------------------------------------------
+
+#: Environment variable carrying a :class:`ProcessFaultPlan` spec into
+#: worker processes and CLI subprocesses (``scripts/chaos_sweep.py``).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Faults a worker can suffer, in the order the decision roll consumes
+#: its probability mass.
+PROCESS_FAULT_KINDS = ("kill", "stall", "corrupt")
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """Seeded plan of process-level faults for chaos-testing a sweep.
+
+    Unlike the single-bit data faults above, these attack the *worker
+    processes* of a supervised sweep: ``kill`` SIGKILLs the worker
+    before it touches the cell, ``stall`` makes it sleep past the
+    supervisor's cell timeout, and ``corrupt`` flips one byte of the
+    serialized result payload after its checksum was computed (so the
+    parent's integrity check must reject it).
+
+    Decisions are a pure function of ``(seed, cell id, attempt)``, so a
+    campaign replays bit-for-bit — and a cell that was killed on its
+    first attempt rolls fresh dice on the retry, which is what lets a
+    chaotic sweep still converge to the clean run's exact results.
+    """
+
+    seed: int = 2003
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_seconds: float = 30.0
+
+    def decide(self, cell_id: str, attempt: int) -> str | None:
+        """The fault (if any) this worker suffers on this attempt."""
+        roll = random.Random(f"{self.seed}|{cell_id}|{attempt}").random()
+        if roll < self.kill_rate:
+            return "kill"
+        if roll < self.kill_rate + self.stall_rate:
+            return "stall"
+        if roll < self.kill_rate + self.stall_rate + self.corrupt_rate:
+            return "corrupt"
+        return None
+
+    def corrupt_byte(self, cell_id: str, attempt: int, size: int) -> tuple[int, int]:
+        """Deterministic (offset, xor-mask) for a ``corrupt`` fault."""
+        rng = random.Random(f"{self.seed}|{cell_id}|{attempt}|corrupt")
+        return rng.randrange(max(size, 1)), 1 << rng.randrange(8)
+
+    # ------------------------------------------------------------- spec IO
+
+    def to_spec(self) -> str:
+        """Compact ``key=value,...`` form for ``$REPRO_CHAOS``."""
+        return (
+            f"seed={self.seed},kill={self.kill_rate:g},stall={self.stall_rate:g},"
+            f"corrupt={self.corrupt_rate:g},stall_seconds={self.stall_seconds:g}"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ProcessFaultPlan":
+        """Parse a ``key=value,...`` spec (unknown keys are an error)."""
+        plan = cls()
+        fields_by_key = {
+            "seed": ("seed", int),
+            "kill": ("kill_rate", float),
+            "stall": ("stall_rate", float),
+            "corrupt": ("corrupt_rate", float),
+            "stall_seconds": ("stall_seconds", float),
+        }
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            if key not in fields_by_key:
+                raise ValueError(
+                    f"unknown chaos spec key {key!r}; expected one of {sorted(fields_by_key)}"
+                )
+            name, cast = fields_by_key[key]
+            plan = replace(plan, **{name: cast(value)})
+        return plan
+
+    @classmethod
+    def from_env(cls) -> "ProcessFaultPlan | None":
+        """The plan carried by ``$REPRO_CHAOS``, or ``None`` if unset."""
+        spec = os.environ.get(CHAOS_ENV_VAR, "").strip()
+        return cls.from_spec(spec) if spec else None
+
+    @property
+    def active(self) -> bool:
+        return (self.kill_rate + self.stall_rate + self.corrupt_rate) > 0
+
+
 @dataclass
 class CampaignSuite:
     """Per-benchmark campaign reports, renderable like an experiment."""
@@ -304,10 +401,13 @@ class CampaignSuite:
 
 
 __all__ = [
+    "CHAOS_ENV_VAR",
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "CampaignReport",
     "CampaignSuite",
     "KindStats",
+    "ProcessFaultPlan",
     "candidates",
     "run_campaign",
 ]

@@ -59,6 +59,7 @@ class ObsSession:
         self.current_benchmark: str | None = None
         self.collections = 0
         self.cache_hits = 0
+        self.supervisor: dict | None = None
         self._t0 = time.monotonic()
         self._last_beat = self._t0
 
@@ -85,6 +86,14 @@ class ObsSession:
         ).inc(records)
         self.registry.timer("trace_cache.load_wall", help="cache load wall time").add(seconds)
         self.heartbeat(f"cache.hit.{benchmark}")
+
+    def note_supervisor(self, report) -> None:
+        """Called after a supervised sweep finishes; *report* is a
+        :class:`~repro.experiments.supervisor.SupervisorReport` (its
+        counters were already published into the registry — this keeps
+        the structured form for the bench manifest)."""
+        self.supervisor = report.to_dict()
+        self.heartbeat("sweep.supervised")
 
     def record_run(self, stats, wall_seconds: float, timing_mode: str = "") -> None:
         """Called after one ``simulate()``; *stats* is a ``SimStats``."""

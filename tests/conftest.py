@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from repro.emulator.machine import Machine
-from repro.experiments import runner, trace_cache
+from repro.experiments import runner, supervisor, trace_cache
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload
 
@@ -32,8 +32,10 @@ def _isolate_runner_globals(monkeypatch):
     trace_cache.reset_stats()
     yield
     runner.set_wall_timeout(None)
+    runner._budget_overrides.clear()
     trace_cache.configure(enabled=False)
     trace_cache.reset_stats()
+    supervisor.reset_stats()
 
 
 @pytest.fixture(scope="session")

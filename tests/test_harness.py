@@ -91,6 +91,72 @@ def test_start_is_idempotent_restart_is_not():
     assert wd.elapsed() == pytest.approx(0.0)
 
 
+def test_check_every_must_be_positive():
+    for bad in (0, -1):
+        with pytest.raises(ValueError, match="check_every"):
+            Watchdog(max_steps=100, check_every=bad)
+
+
+def test_zero_step_budget_trips_on_first_step():
+    wd = Watchdog(max_steps=0)
+    wd.poll(0)  # exactly at the (empty) budget: fine
+    with pytest.raises(RunawayExecution):
+        wd.poll(1)
+
+
+def test_zero_wall_budget_trips_on_first_sample():
+    t = [0.0]
+    wd = Watchdog(max_seconds=0.0, check_every=1, clock=lambda: t[0]).start()
+    t[0] = 1e-9
+    with pytest.raises(RunawayExecution):
+        wd.poll(1)
+
+
+def test_elapsed_is_zero_before_start():
+    assert Watchdog(max_seconds=1.0).elapsed() == 0.0
+
+
+def test_argless_poll_forces_wall_sample_past_check_every():
+    """``poll()`` (no step counter) must not be rate-limited."""
+    t = [0.0]
+    wd = Watchdog(max_seconds=1.0, check_every=10_000, clock=lambda: t[0]).start()
+    t[0] = 2.0
+    with pytest.raises(RunawayExecution):
+        wd.poll()
+
+
+def test_unstarted_watchdog_arms_itself_on_first_sample():
+    t = [100.0]
+    wd = Watchdog(max_seconds=1.0, check_every=1, clock=lambda: t[0])
+    wd.poll(1)  # first sample arms the clock instead of tripping
+    t[0] = 100.5
+    wd.poll(2)  # within budget relative to the self-armed start
+    t[0] = 102.0
+    with pytest.raises(RunawayExecution):
+        wd.poll(3)
+
+
+def test_restart_resets_check_every_phase():
+    """After restart the sampling countdown starts over — a stale poll
+    counter must not make the next wall sample land early or late."""
+    samples = [0]
+
+    def clock():
+        samples[0] += 1
+        return 0.0
+
+    wd = Watchdog(max_seconds=10.0, check_every=4, clock=clock).start()
+    for i in range(3):
+        wd.poll(i)  # 3 polls: one short of a sample
+    wd.restart()
+    before = samples[0]
+    for i in range(3):
+        wd.poll(i)  # a fresh 3 polls: still no sample
+    assert samples[0] == before
+    wd.poll(4)  # 4th poll after restart: samples the clock
+    assert samples[0] == before + 1
+
+
 def test_machine_run_raises_on_runaway_loop():
     machine = Machine(assemble("main: b main\n"))
     with pytest.raises(RunawayExecution):

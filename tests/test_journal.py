@@ -1,0 +1,202 @@
+"""Sweep journal: crash-safe persistence, keying, bit-identical replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.experiments.journal import (
+    DONE,
+    PENDING,
+    RUNNING,
+    CellRecord,
+    SweepJournal,
+    cell_key,
+    config_digest,
+    stats_from_payload,
+    stats_to_payload,
+)
+from repro.harness.errors import JournalCorruption
+from repro.timing.stats import METRIC_CATALOG, SimStats
+
+
+def _stats(name="ideal", cycles=1234):
+    stats = SimStats(config_name=name)
+    stats.cycles = cycles
+    stats.instructions = 1000
+    stats.extra = {"cpi_frac": 0.123456789012345, "squashes": 7}
+    return stats
+
+
+def _cells(n=3):
+    config = baseline_config()
+    return [
+        CellRecord(
+            benchmark=f"bench{i}",
+            config=config.name,
+            key=cell_key(f"bench{i}", config, 1000, 200, 1, 0, "ref", "img"),
+        )
+        for i in range(n)
+    ]
+
+
+# -------------------------------------------------------------- payloads
+
+def test_stats_payload_round_trip_is_bit_identical():
+    stats = _stats()
+    back = stats_from_payload(json.loads(json.dumps(stats_to_payload(stats))))
+    assert back.to_dict() == stats.to_dict()
+    assert back.extra == stats.extra  # float extras exact through JSON
+    for name in METRIC_CATALOG:
+        assert getattr(back, name) == getattr(stats, name)
+
+
+def test_merge_of_replayed_stats_matches_merge_of_originals():
+    a, b = _stats(cycles=100), _stats(cycles=250)
+    replay_a = stats_from_payload(stats_to_payload(a))
+    replay_b = stats_from_payload(stats_to_payload(b))
+    assert SimStats.merge_all([replay_a, replay_b]).to_dict() == \
+        SimStats.merge_all([a, b]).to_dict()
+
+
+# --------------------------------------------------------------- identity
+
+def test_cell_key_depends_on_config_contents_not_just_name():
+    a = bitslice_config(2)
+    b = bitslice_config(4)
+    assert config_digest(a) != config_digest(b)
+    args = ("li", 1000, 200, None, None, "ref", "img")
+    key = lambda cfg: cell_key(args[0], cfg, *args[1:])
+    assert key(a) != key(b)
+
+
+def test_cell_key_depends_on_budgets_and_image():
+    config = baseline_config()
+    base = cell_key("li", config, 1000, 200, None, None, "ref", "img")
+    assert base != cell_key("li", config, 2000, 200, None, None, "ref", "img")
+    assert base != cell_key("li", config, 1000, 400, None, None, "ref", "img")
+    assert base != cell_key("li", config, 1000, 200, None, None, "ref", "other-img")
+    assert base == cell_key("li", config, 1000, 200, None, None, "ref", "img")
+
+
+# ---------------------------------------------------------------- journal
+
+def test_create_load_round_trip(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    journal = SweepJournal.create(path, spec={"max_steps": 1000}, cells=_cells())
+    journal.mark_running(journal.cells[0].key)
+    journal.mark_done(journal.cells[0].key, _stats())
+    loaded = SweepJournal.load(path)
+    assert loaded.spec == {"max_steps": 1000}
+    assert loaded.cells[0].state == DONE
+    assert loaded.cells[0].attempts == 1
+    assert loaded.cells[1].state == PENDING
+
+
+def test_load_missing_raises(tmp_path):
+    with pytest.raises(JournalCorruption, match="does not exist"):
+        SweepJournal.load(tmp_path / "nope.json")
+
+
+def test_load_torn_write_raises(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    SweepJournal.create(path, spec={}, cells=_cells())
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    with pytest.raises(JournalCorruption, match="not valid JSON"):
+        SweepJournal.load(path)
+
+
+def test_load_tampered_payload_fails_checksum(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    SweepJournal.create(path, spec={}, cells=_cells())
+    payload = json.loads(path.read_text())
+    payload["cells"][0]["state"] = "done"  # forge completion
+    path.write_text(json.dumps(payload))
+    with pytest.raises(JournalCorruption, match="checksum mismatch"):
+        SweepJournal.load(path)
+
+
+def test_load_unknown_format_raises(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    SweepJournal.create(path, spec={}, cells=_cells())
+    payload = json.loads(path.read_text())
+    payload["format"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(JournalCorruption, match="unsupported journal format"):
+        SweepJournal.load(path)
+
+
+def test_running_cells_demote_to_pending_on_load(tmp_path):
+    """A crash mid-cell must re-dispatch that cell on resume."""
+    path = tmp_path / "sweep.journal.json"
+    journal = SweepJournal.create(path, spec={}, cells=_cells())
+    journal.mark_running(journal.cells[1].key)
+    assert json.loads(path.read_text())["cells"][1]["state"] == RUNNING
+    loaded = SweepJournal.load(path)
+    assert loaded.cells[1].state == PENDING
+    assert loaded.cells[1].attempts == 1  # the attempt still counts
+
+
+def test_match_cells_rejects_a_different_grid(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    journal = SweepJournal.create(path, spec={}, cells=_cells(3))
+    journal.match_cells(_cells(3))  # identical grid: fine
+    with pytest.raises(JournalCorruption, match="does not match the requested sweep"):
+        journal.match_cells(_cells(2))
+
+
+# ----------------------------------------------------------- result store
+
+def test_mark_done_stores_result_before_state_flip(tmp_path):
+    path = tmp_path / "sweep.journal.json"
+    journal = SweepJournal.create(path, spec={}, cells=_cells())
+    key = journal.cells[0].key
+    journal.mark_done(key, _stats(cycles=777))
+    # On-disk journal says done AND the result it points to exists.
+    assert json.loads(path.read_text())["cells"][0]["state"] == DONE
+    assert journal.result_path(key).exists()
+    replay = journal.load_result(key)
+    assert replay.cycles == 777
+    assert replay.to_dict() == _stats(cycles=777).to_dict()
+
+
+def test_load_result_rejects_corruption(tmp_path):
+    journal = SweepJournal.create(tmp_path / "j.json", spec={}, cells=_cells())
+    key = journal.cells[0].key
+    journal.mark_done(key, _stats())
+    result_path = journal.result_path(key)
+
+    payload = json.loads(result_path.read_text())
+    payload["stats"]["cycles"] = 1  # forge the counter
+    result_path.write_text(json.dumps(payload))
+    assert journal.load_result(key) is None  # checksum mismatch
+
+    result_path.write_text("{ torn")
+    assert journal.load_result(key) is None  # invalid JSON
+
+    result_path.unlink()
+    assert journal.load_result(key) is None  # missing file
+
+
+def test_load_result_rejects_wrong_key(tmp_path):
+    journal = SweepJournal.create(tmp_path / "j.json", spec={}, cells=_cells(2))
+    k0, k1 = journal.cells[0].key, journal.cells[1].key
+    journal.mark_done(k0, _stats())
+    # A result renamed onto another cell's slot must not be trusted.
+    journal.result_path(k0).rename(journal.result_path(k1))
+    assert journal.load_result(k1) is None
+
+
+def test_transitions_persist_through_flush(tmp_path):
+    path = tmp_path / "j.json"
+    journal = SweepJournal.create(path, spec={}, cells=_cells())
+    key = journal.cells[2].key
+    journal.mark_running(key)
+    journal.mark_retry(key, "ValueError: transient")
+    loaded = SweepJournal.load(path)
+    assert loaded.cell(key).state == PENDING
+    assert loaded.cell(key).error == "ValueError: transient"
+    journal.mark_failed(key, "ValueError: permanent", quarantined=True)
+    assert SweepJournal.load(path).cell(key).state == "quarantined"

@@ -1,0 +1,290 @@
+"""Supervised pool and journaled sweep: crash, chaos and resume semantics."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.config import baseline_config, bitslice_config
+from repro.experiments import parallel, runner, supervisor
+from repro.experiments.journal import DONE, PENDING, SweepJournal
+from repro.experiments.supervisor import (
+    PoolTask,
+    SupervisedPool,
+    SupervisorPolicy,
+    run_sweep,
+)
+from repro.harness.faults import ProcessFaultPlan
+from repro.timing.simulator import simulate
+
+N = 1_200
+WARMUP = 200
+
+#: Pool tests use trivial executors; the runner state tuple is not
+#: needed, but building it is harmless and exercises the snapshot.
+FAST = SupervisorPolicy(max_cell_retries=0, backoff=0.0)
+
+
+def _tasks(fn, payloads, max_retries=0):
+    return [
+        PoolTask(id=str(i), fn=f"tests._supervisor_tasks:{fn}", payload=p,
+                 max_retries=max_retries)
+        for i, p in enumerate(payloads)
+    ]
+
+
+def _no_children(timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return not multiprocessing.active_children()
+
+
+# ----------------------------------------------------------------- basics
+
+def test_pool_runs_tasks_and_returns_values():
+    tasks = _tasks("echo", [("a", 1), ("b", 2), ("c", 3)])
+    with SupervisedPool(2, policy=FAST) as pool:
+        outcomes = pool.run(tasks)
+    assert set(outcomes) == {"0", "1", "2"}
+    assert all(o.ok and o.attempts == 1 for o in outcomes.values())
+    assert outcomes["1"].value == ("b", 2)
+    assert _no_children()
+
+
+def test_executor_exception_becomes_failed_outcome():
+    with SupervisedPool(1, policy=FAST) as pool:
+        outcomes = pool.run(_tasks("boom", [("x",), ("y",)]))
+    for key, payload in (("0", "x"), ("1", "y")):
+        assert not outcomes[key].ok
+        assert outcomes[key].error == "ValueError"
+        assert outcomes[key].message == f"boom:{payload}"
+        assert not outcomes[key].quarantined  # no retries were allowed
+
+
+# ---------------------------------------------------- death and respawning
+
+def test_sigkilled_worker_is_detected_and_cell_fails_cleanly():
+    """A SIGKILL mid-cell must surface as WorkerCrash, not a hang."""
+    events = []
+    tasks = _tasks("die", [(1,)]) + _tasks("echo", [("alive",)])
+    tasks[1].id = "survivor"
+    with SupervisedPool(2, policy=FAST) as pool:
+        outcomes = pool.run(tasks, on_event=lambda k, t, i: events.append(k))
+    assert outcomes["0"].error == "WorkerCrash"
+    assert outcomes["survivor"].ok and outcomes["survivor"].value == ("alive",)
+    assert "respawn" in events
+    assert _no_children()
+
+
+def test_poison_cell_retries_consume_budget_then_quarantine(tmp_path):
+    """A cell that kills every worker quarantines after its retries."""
+    tasks = _tasks("flaky", [(str(tmp_path), "p", 99)], max_retries=2)
+    with SupervisedPool(1, policy=SupervisorPolicy(max_cell_retries=2, backoff=0.0)) as pool:
+        outcomes = pool.run(tasks)
+    out = outcomes["0"]
+    assert not out.ok and out.error == "WorkerCrash"
+    assert out.attempts == 3  # first try + 2 retries
+    assert out.quarantined
+    assert len(list(tmp_path.glob("p.attempt.*"))) == 3
+
+
+def test_flaky_cell_recovers_within_retry_budget(tmp_path):
+    """Retries re-dispatch on a respawned worker and can succeed."""
+    tasks = _tasks("flaky", [(str(tmp_path), "f", 2)], max_retries=3)
+    events = []
+    with SupervisedPool(1, policy=SupervisorPolicy(max_cell_retries=3, backoff=0.0)) as pool:
+        outcomes = pool.run(tasks, on_event=lambda k, t, i: events.append(k))
+    out = outcomes["0"]
+    assert out.ok and out.value == ("ok", "f", 3)
+    assert out.attempts == 3
+    assert events.count("retry") == 2 and events.count("respawn") >= 2
+
+
+def test_stalled_worker_is_killed_after_cell_timeout():
+    policy = SupervisorPolicy(max_cell_retries=0, backoff=0.0, cell_timeout=1.0)
+    t0 = time.monotonic()
+    with SupervisedPool(1, policy=policy) as pool:
+        outcomes = pool.run(_tasks("stall", [(60,)]))
+    assert time.monotonic() - t0 < 30  # did not wait out the sleep
+    out = outcomes["0"]
+    assert out.error == "WorkerCrash" and "timeout" in out.message
+    assert _no_children()
+
+
+# ------------------------------------------------------ corrupt transport
+
+def test_corrupted_result_is_rejected_by_checksum():
+    plan = ProcessFaultPlan(seed=1, corrupt_rate=1.0)
+    events = []
+    with SupervisedPool(1, policy=FAST, fault_plan=plan) as pool:
+        outcomes = pool.run(
+            _tasks("echo", [("payload",)]),
+            on_event=lambda k, t, i: events.append(k),
+        )
+    out = outcomes["0"]
+    assert not out.ok and out.error == "ResultCorruption"
+    assert "corrupt" in events
+
+
+# -------------------------------------------------- interruption handling
+
+def test_drain_raises_keyboard_interrupt_and_reaps_workers():
+    events = []
+    pool = SupervisedPool(1, policy=FAST)
+    pool._signal_drain(None, None)  # what the SIGINT/SIGTERM handler does
+    with pool:
+        with pytest.raises(KeyboardInterrupt):
+            pool.run(_tasks("echo", [("x",)]), on_event=lambda k, t, i: events.append(k))
+    assert "drain" in events
+    assert _no_children()
+
+
+def test_no_orphan_workers_when_caller_raises_mid_run():
+    """Regression: an exception mid-sweep must never leak live workers."""
+
+    class CallerBug(Exception):
+        pass
+
+    def on_event(kind, task, info):
+        if kind == "done":
+            raise CallerBug()
+
+    with pytest.raises(CallerBug):
+        with SupervisedPool(2, policy=FAST) as pool:
+            pool.run(_tasks("echo", [(i,) for i in range(4)]), on_event=on_event)
+    assert _no_children()
+
+
+# ------------------------------------------------------------- backoff
+
+def test_retry_delay_is_seeded_and_exponential():
+    policy = SupervisorPolicy(backoff=0.25, backoff_jitter=0.25, seed=7)
+    d1, d2, d3 = (policy.retry_delay("cell", a) for a in (1, 2, 3))
+    assert policy.retry_delay("cell", 1) == d1  # deterministic
+    assert 0.25 <= d1 <= 0.25 * 1.25
+    assert 0.50 <= d2 <= 0.50 * 1.25
+    assert 1.00 <= d3 <= 1.00 * 1.25
+    assert policy.retry_delay("other-cell", 1) != d1  # decorrelated
+    assert SupervisorPolicy(backoff=0.0).retry_delay("cell", 1) == 0.0
+
+
+# -------------------------------------------------------- fault plan
+
+def test_fault_plan_is_deterministic_and_rerolls_per_attempt():
+    plan = ProcessFaultPlan(seed=3, kill_rate=0.5)
+    decisions = [plan.decide("cell", a) for a in range(1, 30)]
+    assert decisions == [plan.decide("cell", a) for a in range(1, 30)]
+    assert "kill" in decisions and None in decisions  # retries re-roll
+    assert ProcessFaultPlan(seed=3).decide("cell", 1) is None  # rates 0
+    off, mask = plan.corrupt_byte("cell", 1, 100)
+    assert 0 <= off < 100 and mask in {1 << b for b in range(8)}
+    assert ProcessFaultPlan.from_spec(plan.to_spec()) == plan
+
+
+# ---------------------------------------------------- the sweep orchestrator
+
+def test_run_sweep_chaos_is_bit_identical_to_clean_run(tmp_path):
+    """The headline invariant: seeded worker kills and corruptions must
+    not change a single counter of the merged results."""
+    names, configs = ["li"], [baseline_config(), bitslice_config(2)]
+    grid, failures, degraded, report = run_sweep(
+        names, configs, N, WARMUP, jobs=2,
+        journal_path=tmp_path / "sweep.journal.json",
+        policy=SupervisorPolicy(max_cell_retries=10, backoff=0.01),
+        fault_plan=ProcessFaultPlan(seed=11, kill_rate=0.4, corrupt_rate=0.3),
+    )
+    assert not failures and not degraded
+    assert report.respawns + report.corrupt_results > 0  # chaos actually hit
+    trace = runner.collect_trace("li", N + WARMUP)
+    for config in configs:
+        expected = simulate(config, trace, warmup=WARMUP)
+        assert grid["li"][config.name].to_dict() == expected.to_dict()
+
+
+def test_run_sweep_resume_replays_without_reexecution(tmp_path):
+    names, configs = ["li"], [baseline_config(), bitslice_config(2)]
+    journal_path = tmp_path / "sweep.journal.json"
+    args = dict(jobs=1, journal_path=journal_path, fault_plan=ProcessFaultPlan())
+    grid1, _, _, report1 = run_sweep(names, configs, N, WARMUP, **args)
+    assert report1.cells_executed == 2 and report1.resume_hits == 0
+
+    grid2, _, _, report2 = run_sweep(names, configs, N, WARMUP, resume=True, **args)
+    assert report2.cells_executed == 0 and report2.resume_hits == 2
+    assert report2.resume_hit_rate == 1.0
+    for config in configs:
+        assert grid2["li"][config.name].to_dict() == grid1["li"][config.name].to_dict()
+
+
+def test_run_sweep_resume_reexecutes_only_missing_cells(tmp_path):
+    """Partial journals (as a killed orchestrator leaves them) resume
+    with exactly the unfinished cells re-dispatched."""
+    names, configs = ["li"], [baseline_config(), bitslice_config(2)]
+    journal_path = tmp_path / "sweep.journal.json"
+    args = dict(jobs=1, journal_path=journal_path, fault_plan=ProcessFaultPlan())
+    grid1, _, _, _ = run_sweep(names, configs, N, WARMUP, **args)
+
+    # Surgically "unfinish" one cell, as a crash between result store
+    # and completion would: demote it and remove its stored result.
+    journal = SweepJournal.load(journal_path)
+    victim = journal.cells[1]
+    journal.mark_retry(victim.key, "simulated crash")
+    journal.result_path(victim.key).unlink()
+
+    grid2, _, _, report = run_sweep(names, configs, N, WARMUP, resume=True, **args)
+    assert report.resume_hits == 1 and report.cells_executed == 1
+    assert SweepJournal.load(journal_path).cell(victim.key).state == DONE
+    for config in configs:
+        assert grid2["li"][config.name].to_dict() == grid1["li"][config.name].to_dict()
+
+
+def test_run_sweep_rejects_mismatched_journal(tmp_path):
+    from repro.harness.errors import JournalCorruption
+
+    journal_path = tmp_path / "sweep.journal.json"
+    run_sweep(["li"], [baseline_config()], N, WARMUP, jobs=1,
+              journal_path=journal_path, fault_plan=ProcessFaultPlan())
+    with pytest.raises(JournalCorruption, match="does not match"):
+        run_sweep(["li"], [bitslice_config(2)], N, WARMUP, jobs=1,
+                  journal_path=journal_path, resume=True,
+                  fault_plan=ProcessFaultPlan())
+
+
+def test_run_sweep_quarantines_poison_benchmark(tmp_path):
+    """An always-failing cell ends up quarantined, not looping forever."""
+    grid, failures, degraded, report = run_sweep(
+        ["nosuchbench"], [baseline_config()], N, WARMUP, jobs=1,
+        journal_path=tmp_path / "j.json",
+        policy=SupervisorPolicy(max_cell_retries=1, backoff=0.0),
+        fault_plan=ProcessFaultPlan(),
+        keep_going=True,
+    )
+    assert grid == {}
+    (record,) = failures
+    assert record.benchmark == "nosuchbench" and record.stage == "build"
+
+
+def test_run_sweep_without_journal_matches_run_cells():
+    names, configs = ["li"], [baseline_config()]
+    grid, failures, degraded, report = run_sweep(
+        names, configs, N, WARMUP, jobs=1, fault_plan=ProcessFaultPlan()
+    )
+    assert not failures
+    ref_grid, _ = parallel.run_cells(names, configs, N, WARMUP, jobs=1)
+    assert grid["li"]["ideal"].to_dict() == ref_grid["li"]["ideal"].to_dict()
+    assert supervisor.supervisor_stats()["cells_executed"] == 1
+
+
+# ----------------------------------------------- parallel layer regression
+
+def test_parallel_worker_crash_is_isolated(tmp_path):
+    """run_cells on the supervised pool: a dead worker's cell fails as a
+    FailureRecord while other cells complete (the bare Pool would hang
+    or propagate uncatchably)."""
+    grid, failures = parallel.run_cells(
+        ["li"], [baseline_config()], N, WARMUP, jobs=1, keep_going=True
+    )
+    assert not failures and grid["li"]["ideal"].instructions == N
+    assert _no_children()

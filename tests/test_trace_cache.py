@@ -36,6 +36,7 @@ def test_miss_then_hit_round_trips_bit_identically(cache):
     first = _collect_fresh("li", 1_500)
     assert trace_cache.stats() == {
         "enabled": True, "dir": str(cache), "hits": 0, "misses": 1,
+        "corrupt_entries": 0,
     }
     second = _collect_fresh("li", 1_500)
     assert trace_cache.stats()["hits"] == 1
@@ -75,6 +76,35 @@ def test_corrupted_entry_falls_back_to_recollection(cache):
     assert trace_cache.load("li", _key_for("li", 1_200)) == baseline
 
 
+def test_corruption_recovery_is_not_silent(cache, capsys):
+    """Satellite of the robustness PR: dropping a corrupt entry must
+    warn on stderr and count, not vanish into the miss statistics."""
+    baseline = _collect_fresh("li", 1_200)
+    (entry,) = list(cache.iterdir())
+    entry.write_bytes(entry.read_bytes()[:100])
+    capsys.readouterr()  # discard collection-phase output
+    assert _collect_fresh("li", 1_200) == baseline
+    err = capsys.readouterr().err
+    assert "dropped corrupt entry" in err and entry.name in err
+    stats = trace_cache.stats()
+    assert stats["corrupt_entries"] == 1 and stats["misses"] == 2
+
+
+def test_corruption_counter_reaches_obs_session(cache, capsys):
+    from repro.obs.session import end_session, start_session
+
+    _collect_fresh("li", 1_100)
+    (entry,) = list(cache.iterdir())
+    entry.write_bytes(b"garbage")
+    session = start_session()
+    try:
+        _collect_fresh("li", 1_100)
+        value = session.registry.counter("cache.corrupt_entries").value
+    finally:
+        end_session()
+    assert value == 1
+
+
 def test_garbage_entry_falls_back_to_recollection(cache):
     baseline = _collect_fresh("li", 1_200)
     (entry,) = list(cache.iterdir())
@@ -106,6 +136,7 @@ def test_disabled_cache_touches_no_files(cache):
     assert list(cache.iterdir()) == []
     assert trace_cache.stats() == {
         "enabled": False, "dir": str(cache), "hits": 0, "misses": 0,
+        "corrupt_entries": 0,
     }
 
 
@@ -127,5 +158,6 @@ def test_clear_trace_cache_resets_counters_not_files(cache):
     runner.clear_trace_cache()
     assert trace_cache.stats() == {
         "enabled": True, "dir": str(cache), "hits": 0, "misses": 0,
+        "corrupt_entries": 0,
     }
     assert len(list(cache.iterdir())) == 1  # entries are content-addressed
