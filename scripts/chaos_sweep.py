@@ -45,6 +45,7 @@ from repro.experiments import sweep as sweep_mod  # noqa: E402
 from repro.experiments.journal import SweepJournal  # noqa: E402
 from repro.experiments.supervisor import ORCH_KILL_ENV_VAR  # noqa: E402
 from repro.harness.faults import CHAOS_ENV_VAR, ProcessFaultPlan  # noqa: E402
+from repro.obs import tracing  # noqa: E402
 
 
 def parse_args(argv=None):
@@ -66,11 +67,14 @@ def parse_args(argv=None):
                    help="directory for the journal, outputs and report")
     p.add_argument("--report", default=None,
                    help="JSON verdict path (default <workdir>/chaos_report.json)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable span tracing (skips the trace-merge checks)")
     return p.parse_args(argv)
 
 
-def sweep_argv(args, journal_flag: str, journal: Path) -> list[str]:
-    return [
+def sweep_argv(args, journal_flag: str, journal: Path,
+               trace: Path | None = None) -> list[str]:
+    argv = [
         sys.executable, "-m", "repro.experiments.cli", "sweep",
         "-b", *args.benchmarks,
         "--configs", *args.configs,
@@ -80,6 +84,52 @@ def sweep_argv(args, journal_flag: str, journal: Path) -> list[str]:
         "--backoff", "0.05",
         journal_flag, str(journal),
     ]
+    if trace is not None:
+        argv += ["--trace-spans", str(trace)]
+    return argv
+
+
+def check_trace(spans_path: Path, final: SweepJournal, report: dict) -> dict:
+    """Trace checks for the resumed run's merged span output.
+
+    The phase-1 orchestrator dies by SIGKILL, so only the resumed run
+    writes spans — but it *records* the killed run's completed cells
+    (``resume=True``), so its trace is the merged sweep timeline: every
+    done cell must appear as exactly one completed ``cell`` span, the
+    whole file must pass schema validation, and the sibling Perfetto
+    export must be a loadable Chrome trace spanning every process lane.
+    """
+    checks = {"spans_schema_valid": False, "one_completed_span_per_done_cell": False,
+              "perfetto_trace_merged": False}
+    try:
+        report["span_count"] = tracing.validate_spans_file(spans_path)
+        checks["spans_schema_valid"] = True
+    except (OSError, ValueError) as exc:
+        report["span_error"] = str(exc)
+        return checks
+    spans = tracing.load_spans_jsonl(spans_path)
+    done = [c for c in final.cells if c.state == "done"]
+    cells = [s for s in spans if s.category == "cell" and s.status == tracing.OK]
+    report["cell_span_count"] = len(cells)
+    report["resumed_span_count"] = sum(1 for s in cells if s.args.get("resume"))
+    checks["one_completed_span_per_done_cell"] = (
+        len(cells) == len(done)
+        and len({s.name for s in cells}) == len(done)
+        and len({s.trace_id for s in spans}) == 1
+    )
+    perfetto = spans_path.with_suffix(".perfetto.json")
+    try:
+        doc = json.loads(perfetto.read_text())
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        report["perfetto_events"] = len(events)
+        report["perfetto_processes"] = len(pids)
+        checks["perfetto_trace_merged"] = (
+            len(events) > 0 and len({s.process for s in spans}) == len(pids)
+        )
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        report["span_error"] = f"perfetto: {exc}"
+    return checks
 
 
 def run_phase(cmd: list[str], env: dict, out_path: Path, err_path: Path) -> int:
@@ -125,10 +175,12 @@ def main(argv=None) -> int:
 
     print(f"[chaos] phase 1: chaotic sweep, orchestrator SIGKILLed after "
           f"{args.orch_kill_after} cells (plan: {plan.to_spec()})", flush=True)
+    trace1 = None if args.no_trace else workdir / "phase1.spans.jsonl"
+    trace2 = None if args.no_trace else workdir / "chaos.spans.jsonl"
     env1 = dict(base_env)
     env1[ORCH_KILL_ENV_VAR] = str(args.orch_kill_after)
     rc1 = run_phase(
-        sweep_argv(args, "--journal", journal), env1,
+        sweep_argv(args, "--journal", journal, trace=trace1), env1,
         workdir / "phase1.out", workdir / "phase1.err",
     )
     phase1_killed = rc1 == -signal.SIGKILL or rc1 == 128 + signal.SIGKILL
@@ -140,7 +192,7 @@ def main(argv=None) -> int:
 
     print("[chaos] phase 2: resume under the same worker chaos", flush=True)
     rc2 = run_phase(
-        sweep_argv(args, "--resume", journal), base_env,
+        sweep_argv(args, "--resume", journal, trace=trace2), base_env,
         workdir / "phase2.out", workdir / "phase2.err",
     )
 
@@ -158,7 +210,6 @@ def main(argv=None) -> int:
         ),
         "all_cells_done": all(c.state == "done" for c in final.cells),
     }
-    verdict = all(checks.values())
 
     report = {
         "plan": plan.to_spec(),
@@ -168,8 +219,11 @@ def main(argv=None) -> int:
         "cells_total": len(mid.cells),
         "journal_summary": summary,
         "checks": checks,
-        "verdict": "PASS" if verdict else "FAIL",
     }
+    if trace2 is not None:
+        checks.update(check_trace(trace2, final, report))
+    verdict = all(checks.values())
+    report["verdict"] = "PASS" if verdict else "FAIL"
     report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[chaos] report written to {report_path}", flush=True)
     for name, ok in checks.items():

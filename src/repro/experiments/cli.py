@@ -36,8 +36,14 @@ Observability flags (see ``docs/observability.md``):
   provenance manifest: config, seed, git SHA, package versions);
 * ``--trace-events FILE`` — cycle-event JSONL plus a Perfetto-loadable
   Chrome trace sibling;
+* ``--trace-spans FILE`` — sweep-wide distributed trace: spans from the
+  orchestrator, the workers, and every cell merged into one JSONL span
+  log plus a Perfetto-loadable timeline (one lane per worker);
 * ``--profile`` — top-N hottest phases with host inst/s throughput;
-* ``--heartbeat SECONDS`` — periodic progress line for long sweeps.
+* ``--heartbeat SECONDS`` — periodic progress line for long sweeps
+  (including ``--jobs`` sweeps: cells done / in flight / failed);
+* ``--live`` — live sweep status line (done/pending/failed, cells/s,
+  ETA, active-cell ages) for the ``sweep`` experiment.
 
 Any of these also writes a ``BENCH_<run>.json`` perf snapshot (IPC,
 host throughput, wall time per benchmark) into ``--bench-dir``.
@@ -161,6 +167,11 @@ def _parser() -> argparse.ArgumentParser:
         "--backoff", type=float, default=0.25, metavar="SECONDS",
         help="base exponential-backoff delay between cell retries (default 0.25)",
     )
+    sweep.add_argument(
+        "--live", action="store_true",
+        help="live sweep status line on stderr (done/pending/failed, "
+             "cells/s, ETA, active-cell ages); sweep stdout is unchanged",
+    )
     obs = p.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -170,6 +181,12 @@ def _parser() -> argparse.ArgumentParser:
         "--trace-events", default=None, metavar="FILE",
         help="write cycle events as JSONL, plus a Perfetto-loadable "
              "<FILE-stem>.perfetto.json Chrome trace",
+    )
+    obs.add_argument(
+        "--trace-spans", default=None, metavar="FILE",
+        help="write the sweep-wide distributed trace: span JSONL plus a "
+             "Perfetto-loadable <FILE-stem>.perfetto.json merged timeline "
+             "(orchestrator + workers + cells)",
     )
     obs.add_argument(
         "--profile", action="store_true",
@@ -241,9 +258,16 @@ def main(argv: list[str] | None = None) -> int:
             trace_events=bool(args.trace_events),
             heartbeat_interval=args.heartbeat,
         )
+    tracing_on = bool(args.trace_spans)
+    if tracing_on:
+        from repro.obs.tracing import start_tracing
+
+        start_tracing()
     try:
         return _run_experiments(args, n, prof, benches, argv)
     finally:
+        # Obs outputs first: the manifest reads the still-active tracer's
+        # stats; then the tracer is ended and its spans flushed to disk.
         if obs_on:
             from repro.obs.session import end_session
 
@@ -252,6 +276,14 @@ def main(argv: list[str] | None = None) -> int:
                 _write_obs_outputs(args, session, argv)
             except Exception as exc:  # never mask the experiment's own status
                 print(f"observability output failed: {exc}", file=sys.stderr)
+        if tracing_on:
+            from repro.obs.tracing import end_tracing
+
+            tracer = end_tracing()
+            try:
+                _write_span_outputs(args, tracer)
+            except Exception as exc:  # never mask the experiment's own status
+                print(f"tracing output failed: {exc}", file=sys.stderr)
 
 
 def _write_obs_outputs(args, session, argv) -> None:
@@ -262,6 +294,7 @@ def _write_obs_outputs(args, session, argv) -> None:
     from repro.experiments.supervisor import supervisor_stats
     from repro.harness.atomicio import atomic_write_text
     from repro.obs.manifest import build_manifest, write_bench_snapshot
+    from repro.obs.tracing import active_tracer
     from repro.timing.fastpath import default_timing_mode
 
     manifest = build_manifest(
@@ -280,6 +313,7 @@ def _write_obs_outputs(args, session, argv) -> None:
             "dispatch": default_dispatch(),
             "timing": default_timing_mode(),
             "supervisor": supervisor_stats(),
+            "tracing": active_tracer().stats() if active_tracer() is not None else None,
         },
     )
     if args.profile:
@@ -306,6 +340,25 @@ def _write_obs_outputs(args, session, argv) -> None:
         run_id = f"{args.experiment}-{time.strftime('%Y%m%dT%H%M%SZ', time.gmtime())}"
         path = write_bench_snapshot(args.bench_dir, run_id, session.bench_records(), manifest)
         print(f"perf snapshot written to {path}", file=sys.stderr)
+
+
+def _write_span_outputs(args, tracer) -> None:
+    """Flush the distributed trace: span JSONL + merged Perfetto timeline."""
+    from repro.obs.tracing import write_span_chrome_trace, write_spans_jsonl
+
+    if tracer is None:  # pragma: no cover - guarded by tracing_on
+        return
+    out = Path(args.trace_spans)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    spans = list(tracer)
+    n_spans = write_spans_jsonl(spans, out)
+    perfetto = out.with_suffix(".perfetto.json")
+    write_span_chrome_trace(spans, perfetto)
+    dropped = f" ({tracer.dropped} dropped by ring bound)" if tracer.dropped else ""
+    print(
+        f"{n_spans} spans written to {out}{dropped} (Perfetto view: {perfetto})",
+        file=sys.stderr,
+    )
 
 
 def _run_experiments(args, n, prof, benches, argv) -> int:
@@ -407,19 +460,30 @@ def _run_experiments(args, n, prof, benches, argv) -> int:
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
-        result = sweep_mod.run(
-            benches or BENCHMARK_NAMES,
-            config_names,
-            max_steps=n,
-            jobs=args.jobs,
-            profile=prof,
-            journal_path=args.resume or args.journal,
-            resume=bool(args.resume),
-            policy=SupervisorPolicy(
-                max_cell_retries=args.max_cell_retries, backoff=args.backoff
-            ),
-            keep_going=args.keep_going,
-        )
+        progress = None
+        if args.live:
+            from repro.experiments.progress import SweepProgress
+
+            # Stderr keeps stdout byte-comparable across kill-resume.
+            progress = SweepProgress()
+        try:
+            result = sweep_mod.run(
+                benches or BENCHMARK_NAMES,
+                config_names,
+                max_steps=n,
+                jobs=args.jobs,
+                profile=prof,
+                journal_path=args.resume or args.journal,
+                resume=bool(args.resume),
+                policy=SupervisorPolicy(
+                    max_cell_retries=args.max_cell_retries, backoff=args.backoff
+                ),
+                keep_going=args.keep_going,
+                progress=progress,
+            )
+        finally:
+            if progress is not None:
+                progress.close()
         emit("sweep", result)
         if result.report is not None:
             # Supervision counters go to stderr: they legitimately vary

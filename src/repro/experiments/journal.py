@@ -40,12 +40,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.experiments.results_io import payload_checksum
 from repro.harness.atomicio import atomic_write_json
 from repro.harness.errors import JournalCorruption
+from repro.obs.tracing import active_tracer
 from repro.timing.stats import METRIC_CATALOG, SimStats
 
 #: Journal / result-store schema version (strictly validated).
@@ -246,7 +248,27 @@ class SweepJournal:
         }
         payload["checksum"] = payload_checksum(payload)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        tracer = active_tracer()
+        t0 = time.perf_counter() if tracer is not None else 0.0
         atomic_write_json(self.path, payload, sync_dir=True)
+        if tracer is not None:
+            # Measure the measurement infrastructure: the journal's
+            # atomic+fsync flushes are the supervisor's main overhead.
+            tracer.profiler.add("journal.flush", time.perf_counter() - t0)
+
+    def _trace_transition(self, cell: CellRecord, error: str | None = None) -> None:
+        """Annotate the merged timeline with one cell state change."""
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        args = {
+            "cell": f"{cell.benchmark}/{cell.config}",
+            "state": cell.state,
+            "attempts": cell.attempts,
+        }
+        if error:
+            args["error"] = str(error)[:200]
+        tracer.mark("journal.transition", category="journal", **args)
 
     # ------------------------------------------------------------- queries
 
@@ -282,6 +304,7 @@ class SweepJournal:
         cell = self._by_key[key]
         cell.state = RUNNING
         cell.attempts += 1
+        self._trace_transition(cell)
         self.flush()
 
     def mark_done(self, key: str, stats: SimStats) -> None:
@@ -291,6 +314,7 @@ class SweepJournal:
         cell = self._by_key[key]
         cell.state = DONE
         cell.error = None
+        self._trace_transition(cell)
         self.flush()
 
     def mark_retry(self, key: str, error: str) -> None:
@@ -298,12 +322,14 @@ class SweepJournal:
         cell = self._by_key[key]
         cell.state = PENDING
         cell.error = error
+        self._trace_transition(cell, error=error)
         self.flush()
 
     def mark_failed(self, key: str, error: str, quarantined: bool = False) -> None:
         cell = self._by_key[key]
         cell.state = QUARANTINED if quarantined else FAILED
         cell.error = error
+        self._trace_transition(cell, error=error)
         self.flush()
 
     # -------------------------------------------------------- result store

@@ -126,23 +126,51 @@ def collect_parallel(
     run manifest).  Returns ``(surviving, failures, degraded)`` with
     the same semantics as the sequential ``--keep-going`` pre-pass.
     """
+    from repro.obs.session import active_session
+
     names = list(names)
+    session = active_session()
     tasks = [
         PoolTask(
             id=name,
             fn="repro.experiments.parallel:_collect_worker",
             payload=(name, max_steps, iters, skip, profile),
+            label=f"collect/{name}",
         )
         for name in names
     ]
+
+    # Orchestrator-level heartbeats: collection happens inside workers
+    # (no session there), so without this hook a --jobs run was silent
+    # until the pool drained — --heartbeat now reports cells done and
+    # in flight for parallel runs too.
+    done_count = 0
+    failed_count = 0
+    inflight: set[str] = set()
+
+    def on_event(kind, task, info) -> None:
+        nonlocal done_count, failed_count
+        if kind == "dispatch":
+            inflight.add(task.id)
+        elif kind == "done":
+            inflight.discard(task.id)
+            done_count += 1
+        elif kind == "failed":
+            inflight.discard(task.id)
+            failed_count += 1
+        else:
+            return
+        if kind != "dispatch":
+            session.note_sweep_progress(
+                done=done_count, total=len(tasks),
+                failed=failed_count, in_flight=len(inflight),
+            )
+
     with SupervisedPool(
         jobs, policy=_PASSTHROUGH_POLICY, init_state=current_worker_state()
     ) as pool:
-        outcomes = pool.run(tasks)
+        outcomes = pool.run(tasks, on_event=on_event if session is not None else None)
 
-    from repro.obs.session import active_session
-
-    session = active_session()
     surviving: list[str] = []
     failures: list[FailureRecord] = []
     degraded: list[FailureRecord] = []
@@ -232,6 +260,7 @@ def run_cells(
             id=f"{name}|{config.name}",
             fn="repro.experiments.parallel:_simulate_cell",
             payload=(name, config, max_steps, warmup, iters, skip, profile),
+            label=f"{name}/{config.name}",
         )
         for name in names
         for config in configs

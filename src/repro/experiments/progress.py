@@ -1,0 +1,142 @@
+"""Live sweep progress: the ``repro-experiment sweep --live`` status line.
+
+A :class:`SweepProgress` watches the supervised sweep's cell lifecycle
+(the same ``on_event`` stream the journal consumes) and renders a
+one-line status — cells done/pending/failed, throughput, ETA, and the
+ages of the cells currently in flight so a straggler is visible while
+it is still running, not only in the post-mortem trace.
+
+On a TTY the line redraws in place (carriage return, no scrollback
+spam); on a pipe it degrades to a periodic plain line.  Either way it
+writes to *stream* (stderr by default) so sweep stdout stays
+byte-comparable across kill-resume runs — the chaos invariant.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds or seconds == float("inf"):
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+class SweepProgress:
+    """Tracks and renders one sweep's live cell status."""
+
+    def __init__(
+        self,
+        stream=None,
+        interval: float = 0.5,
+        clock=time.monotonic,
+        force_tty: bool | None = None,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.clock = clock
+        isatty = getattr(self.stream, "isatty", lambda: False)
+        self.tty = bool(isatty()) if force_tty is None else force_tty
+        self.total = 0
+        self.done = 0
+        self.failed = 0
+        self.resumed = 0
+        self.active: dict[str, tuple[str, float]] = {}  # key -> (label, started)
+        self._t0 = self.clock()
+        self._last_render = 0.0
+        self._last_len = 0
+
+    # ------------------------------------------------------------- updates
+
+    def set_total(self, total: int) -> None:
+        self.total = total
+        self._render()
+
+    def resume_hit(self, n: int = 1) -> None:
+        self.resumed += n
+        self.done += n
+        self._render()
+
+    def dispatch(self, key: str, label: str) -> None:
+        self.active[key] = (label, self.clock())
+        self._render()
+
+    def retire(self, key: str, failed: bool = False) -> None:
+        self.active.pop(key, None)
+        if failed:
+            self.failed += 1
+        else:
+            self.done += 1
+        self._render(force=failed)
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock() - self._t0
+
+    @property
+    def pending(self) -> int:
+        return max(self.total - self.done - self.failed - len(self.active), 0)
+
+    def cells_per_second(self) -> float:
+        executed = self.done - self.resumed
+        return executed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> float:
+        rate = self.cells_per_second()
+        remaining = self.pending + len(self.active)
+        return remaining / rate if rate > 0 else float("inf")
+
+    # ----------------------------------------------------------- rendering
+
+    def status_line(self) -> str:
+        parts = [
+            f"[sweep] {self.done}/{self.total} done",
+            f"{self.pending} pending",
+            f"{self.failed} failed",
+            f"{self.cells_per_second():.2f} cells/s",
+            f"ETA {_fmt_eta(self.eta_seconds())}",
+        ]
+        if self.resumed:
+            parts.insert(1, f"{self.resumed} resumed")
+        if self.active:
+            now = self.clock()
+            ages = sorted(
+                ((label, now - started) for label, started in self.active.values()),
+                key=lambda pair: -pair[1],
+            )
+            shown = ", ".join(f"{label} {age:.0f}s" for label, age in ages[:3])
+            more = f" +{len(ages) - 3}" if len(ages) > 3 else ""
+            parts.append(f"active: {shown}{more}")
+        return " | ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = self.clock()
+        if not force and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        line = self.status_line()
+        if self.tty:
+            pad = " " * max(self._last_len - len(line), 0)
+            self.stream.write(f"\r{line}{pad}")
+            self._last_len = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Final render plus the newline a TTY redraw line still needs."""
+        self._last_render = 0.0
+        self._render(force=True)
+        if self.tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+__all__ = ["SweepProgress"]

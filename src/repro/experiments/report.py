@@ -140,6 +140,11 @@ class FidelityReport:
     stacks: list = field(default_factory=list)
     #: chronological perf-snapshot trend rows (oldest first).
     trend: list[dict] = field(default_factory=list)
+    #: campaign-health counters: trace-cache corruption and supervisor
+    #: retry/quarantine/respawn totals, from this run plus the scanned
+    #: ``BENCH_*.json`` manifests — so data integrity and orchestration
+    #: churn ship with the claim scores.
+    campaign: dict = field(default_factory=dict)
     #: non-fatal issues hit while collecting (bad snapshots etc.).
     warnings: list[str] = field(default_factory=list)
 
@@ -161,6 +166,7 @@ class FidelityReport:
             "checks": [c.to_dict() for c in self.checks],
             "stacks": [s.to_dict() for s in self.stacks],
             "trend": self.trend,
+            "campaign": dict(self.campaign),
             "warnings": list(self.warnings),
         }
 
@@ -225,6 +231,26 @@ class FidelityReport:
                     f"| {row['wall_seconds']:.2f} | {d_wall} | {hit} |"
                 )
                 prev = row
+        if self.campaign:
+            h = self.campaign
+            verdict = "clean" if h.get("clean") else "**DEGRADED**"
+            lines += [
+                "",
+                "## Campaign health",
+                "",
+                f"Data integrity and orchestration churn for this run plus "
+                f"{h.get('snapshots_scanned', 0)} perf snapshot(s): {verdict}.",
+                "",
+                "| counter | value |",
+                "|---------|-------|",
+                f"| corrupt trace-cache entries | {h.get('cache_corrupt_entries', 0)} |",
+                f"| supervisor retries | {h.get('supervisor_retries', 0)} |",
+                f"| quarantined cells | {h.get('supervisor_quarantined', 0)} |",
+                f"| worker respawns | {h.get('supervisor_respawns', 0)} |",
+                f"| corrupt worker results | {h.get('supervisor_corrupt_results', 0)} |",
+                f"| straggler cells | {h.get('straggler_cells', 0)} |",
+                f"| retry-storm cells | {h.get('retry_storm_cells', 0)} |",
+            ]
         if self.warnings:
             lines += ["", "## Warnings", ""]
             lines += [f"- {w}" for w in self.warnings]
@@ -291,6 +317,31 @@ class FidelityReport:
                 f"<td>{d_ipc}</td><td>{row['wall_seconds']:.2f}</td><td>{hit}</td></tr>"
             )
             prev = row
+        campaign_html = ""
+        if self.campaign:
+            h = self.campaign
+            verdict = "clean" if h.get("clean") else "DEGRADED"
+            cls = "ok" if h.get("clean") else "bad"
+            campaign_rows = "".join(
+                f"<tr><td>{_esc(label)}</td><td>{h.get(key, 0)}</td></tr>"
+                for label, key in (
+                    ("corrupt trace-cache entries", "cache_corrupt_entries"),
+                    ("supervisor retries", "supervisor_retries"),
+                    ("quarantined cells", "supervisor_quarantined"),
+                    ("worker respawns", "supervisor_respawns"),
+                    ("corrupt worker results", "supervisor_corrupt_results"),
+                    ("straggler cells", "straggler_cells"),
+                    ("retry-storm cells", "retry_storm_cells"),
+                )
+            )
+            campaign_html = (
+                "<h2>Campaign health</h2>"
+                f"<p class='verdict {cls}'><strong>{verdict}</strong> — data "
+                "integrity and orchestration churn for this run plus "
+                f"{h.get('snapshots_scanned', 0)} perf snapshot(s).</p>"
+                "<table><tr><th>counter</th><th>value</th></tr>"
+                f"{campaign_rows}</table>"
+            )
         warn_html = "".join(f"<li>{_esc(w)}</li>" for w in self.warnings)
         return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>Fidelity report — {_esc(self.run)}</title>
@@ -324,6 +375,7 @@ components sum exactly to measured cycles).</p>
 {''.join(bars) or '<p>(no stacks collected)</p>'}
 <h2>Perf-snapshot trend</h2>
 {'<table><tr><th>run</th><th>mean IPC</th><th>ΔIPC</th><th>wall s</th><th>cache hit rate</th></tr>' + ''.join(trend_rows) + '</table>' if trend_rows else '<p>(no snapshots found)</p>'}
+{campaign_html}
 {'<h2>Warnings</h2><ul>' + warn_html + '</ul>' if warn_html else ''}
 </body></html>
 """
@@ -374,6 +426,77 @@ def _bench_trend(bench_dir: str | Path, warnings: list[str]) -> list[dict]:
         )
     rows.sort(key=lambda r: r["created_unix"])
     return rows
+
+
+def _campaign_health(bench_dir: str | Path | None, warnings: list[str]) -> dict:
+    """Data-integrity and orchestration-churn counters for the campaign.
+
+    Folds this process's live trace-cache / supervisor counters together
+    with the totals recorded in the scanned ``BENCH_*.json`` manifests,
+    so the fidelity score always ships with the health of the runs
+    behind it: corrupt cache entries that were dropped and re-emulated,
+    cells that needed retries or were quarantined, workers respawned
+    after crashes, and straggler / retry-storm flags.
+    """
+    from repro.experiments import trace_cache
+    from repro.experiments.supervisor import supervisor_stats
+    from repro.obs.manifest import load_bench_snapshot
+
+    health = {
+        "cache_corrupt_entries": int(trace_cache.stats().get("corrupt_entries", 0)),
+        "supervisor_retries": 0,
+        "supervisor_quarantined": 0,
+        "supervisor_respawns": 0,
+        "supervisor_corrupt_results": 0,
+        "straggler_cells": 0,
+        "retry_storm_cells": 0,
+        "snapshots_scanned": 0,
+    }
+    blocks = []
+    live = supervisor_stats()
+    if isinstance(live, dict):
+        blocks.append(live)
+    if bench_dir is not None and Path(bench_dir).is_dir():
+        for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+            try:
+                payload = load_bench_snapshot(path)
+            except (ValueError, OSError, json.JSONDecodeError):
+                continue  # _bench_trend already warned about this file
+            manifest = payload["manifest"]
+            cache = manifest.get("trace_cache") or {}
+            health["cache_corrupt_entries"] += int(cache.get("corrupt_entries", 0) or 0)
+            block = manifest.get("supervisor")
+            if isinstance(block, dict):
+                blocks.append(block)
+            health["snapshots_scanned"] += 1
+    for block in blocks:
+        health["supervisor_retries"] += int(block.get("retries", 0) or 0)
+        health["supervisor_quarantined"] += int(block.get("quarantined", 0) or 0)
+        health["supervisor_respawns"] += int(block.get("respawns", 0) or 0)
+        health["supervisor_corrupt_results"] += int(block.get("corrupt_results", 0) or 0)
+        health["straggler_cells"] += len(block.get("stragglers") or ())
+        health["retry_storm_cells"] += len(block.get("retry_storms") or ())
+    health["clean"] = not (
+        health["cache_corrupt_entries"]
+        or health["supervisor_quarantined"]
+        or health["supervisor_corrupt_results"]
+    )
+    if health["cache_corrupt_entries"]:
+        warnings.append(
+            f"campaign health: {health['cache_corrupt_entries']} corrupt "
+            "trace-cache entries were dropped and re-emulated"
+        )
+    if health["supervisor_quarantined"]:
+        warnings.append(
+            f"campaign health: {health['supervisor_quarantined']} sweep "
+            "cells exhausted retries and were quarantined"
+        )
+    if health["supervisor_corrupt_results"]:
+        warnings.append(
+            f"campaign health: {health['supervisor_corrupt_results']} worker "
+            "results failed checksum verification"
+        )
+    return health
 
 
 def run_fidelity(
@@ -495,6 +618,7 @@ def run_fidelity(
 
     if bench_dir is not None:
         report.trend = _bench_trend(bench_dir, report.warnings)
+    report.campaign = _campaign_health(bench_dir, report.warnings)
     return report
 
 

@@ -23,6 +23,7 @@ from repro.emulator.trace import TraceRecord
 from repro.experiments import trace_cache
 from repro.harness.watchdog import Watchdog
 from repro.obs.session import active_session
+from repro.obs.tracing import active_tracer
 from repro.timing.simulator import simulate
 from repro.timing.stats import SimStats
 from repro.workloads import get_workload
@@ -79,6 +80,7 @@ def _collect(
         return preloaded
     workload = get_workload(name)
     session = active_session()
+    tracer = active_tracer()
     # L2: the persistent on-disk cache.  The key covers the program
     # image, so a stale entry after a workload edit is unreachable.
     key = None
@@ -86,22 +88,38 @@ def _collect(
         program = workload.build(iters=iters, profile=profile)
         key = trace_cache.cache_key(name, max_steps, iters, skip, profile, program)
         t0 = time.perf_counter()
+        w0 = time.time()
         cached = trace_cache.load(name, key)
         if cached is not None:
             if session is not None:
                 session.note_cache_hit(name, len(cached), time.perf_counter() - t0)
+            if tracer is not None:
+                tracer.record(
+                    f"cache.hit.{name}", category="cache",
+                    start=w0, end=time.time(), records=len(cached),
+                )
             return cached
+        if tracer is not None:
+            tracer.mark(f"cache.miss.{name}", category="cache")
     watchdog = (
         Watchdog(max_seconds=_wall_timeout, label=f"collect[{name}]")
         if _wall_timeout is not None
         else None
     )
     t0 = time.perf_counter()
+    w0 = time.time()
     trace = tuple(
         workload.trace(max_steps=max_steps, iters=iters, skip=skip, profile=profile, watchdog=watchdog)
     )
+    seconds = time.perf_counter() - t0
     if session is not None:
-        session.note_collection(name, len(trace), time.perf_counter() - t0)
+        session.note_collection(name, len(trace), seconds)
+    if tracer is not None:
+        tracer.record(
+            f"emulate.{name}", category="emulate",
+            start=w0, end=time.time(), records=len(trace),
+        )
+        tracer.profiler.add(f"collect.{name}", seconds, items=len(trace))
     if key is not None:
         trace_cache.store(name, key, trace)
     return trace

@@ -42,12 +42,14 @@ import random
 import signal
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
 from multiprocessing.sharedctypes import RawValue
 from pathlib import Path
 
 from repro.experiments import trace_cache
+from repro.obs import tracing
 from repro.experiments.journal import (
     DONE,
     FAILED,
@@ -93,6 +95,9 @@ class SupervisorPolicy:
     heartbeat_interval: float = 0.5     # worker heartbeat period
     heartbeat_timeout: float | None = 60.0  # stale-heartbeat kill threshold
     seed: int = 2003
+    #: A done cell is flagged as a straggler when its wall time exceeds
+    #: this multiple of the sweep's median cell wall time (<= 0: off).
+    straggler_factor: float = 3.0
 
     def retry_delay(self, task_id: str, attempt: int) -> float:
         """Backoff before re-dispatching *task_id* after failed *attempt*."""
@@ -117,6 +122,11 @@ class SupervisorReport:
     quarantined: int = 0
     corrupt_results: int = 0
     drained: bool = False
+    #: Done cells whose wall time exceeded ``straggler_factor`` × the
+    #: sweep median (each: cell, wall_seconds, median_seconds, factor).
+    stragglers: list = field(default_factory=list)
+    #: Cells that needed more than one attempt (each: cell, attempts).
+    retry_storms: list = field(default_factory=list)
 
     @property
     def resume_hit_rate(self) -> float:
@@ -133,6 +143,8 @@ class SupervisorReport:
             "quarantined": self.quarantined,
             "corrupt_results": self.corrupt_results,
             "drained": self.drained,
+            "stragglers": list(self.stragglers),
+            "retry_storms": list(self.retry_storms),
         }
 
     def publish(self, registry) -> None:
@@ -153,11 +165,17 @@ class SupervisorReport:
         ).set(self.resume_hit_rate)
 
     def render(self) -> str:
+        extras = ""
+        if self.stragglers:
+            extras += f", {len(self.stragglers)} straggler(s)"
+        if self.retry_storms:
+            extras += f", {len(self.retry_storms)} retry-storm cell(s)"
         return (
             f"supervisor: {self.cells_executed}/{self.cells_total} cells executed, "
             f"{self.resume_hits} resumed ({self.resume_hit_rate:.0%} hit rate), "
             f"{self.respawns} respawns, {self.retries} retries, "
             f"{self.quarantined} quarantined, {self.corrupt_results} corrupt results"
+            + extras
             + (" [drained on signal]" if self.drained else "")
         )
 
@@ -179,6 +197,41 @@ def supervisor_stats() -> dict | None:
 def reset_stats() -> None:
     global _last_report
     _last_report = None
+
+
+def detect_stragglers(
+    cell_wall: dict[str, float], labels: dict[str, str], factor: float
+) -> list[dict]:
+    """Flag cells whose wall time exceeded *factor* × the sweep median.
+
+    Returns manifest-ready records (worst first).  Needs at least three
+    timed cells — a median of one or two walls flags nothing but noise.
+    """
+    if factor is None or factor <= 0 or len(cell_wall) < 3:
+        return []
+    walls = sorted(cell_wall.values())
+    median = walls[len(walls) // 2]
+    if median <= 0:
+        return []
+    out = [
+        {
+            "cell": labels.get(key, key),
+            "wall_seconds": round(wall, 3),
+            "median_seconds": round(median, 3),
+            "factor": round(wall / median, 2),
+        }
+        for key, wall in cell_wall.items()
+        if wall > factor * median
+    ]
+    out.sort(key=lambda rec: -rec["factor"])
+    return out
+
+
+def _tspan(tracer, name: str, category: str = "span", **args):
+    """A tracer span, or a no-op context when tracing is off."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, category=category, **args)
 
 
 # --------------------------------------------------------------------------
@@ -237,19 +290,31 @@ def _heartbeat_loop(hb, interval: float) -> None:
         time.sleep(interval)
 
 
-def _worker_main(conn, hb, init_state, fault_plan, heartbeat_interval) -> None:
+def _worker_main(
+    conn, hb, init_state, fault_plan, heartbeat_interval, tracing_on=False
+) -> None:
     """Worker loop: receive a task, execute it, send a checksummed reply.
 
     The parent owns interruption (it terminates workers on drain), so
     SIGINT — which a terminal delivers to the whole process group — is
     ignored here; a worker must never die mid-``send`` with a torn
     message because the user pressed Ctrl-C.
+
+    With *tracing_on* the worker runs its own process-global tracer:
+    each task adopts the span context the orchestrator sent, executes
+    under a ``worker.execute`` span (instrumentation points deeper in
+    the stack — trace-cache hits, collection — nest under it), and the
+    finished spans plus phase-profiler samples ride back in the reply's
+    ``aux`` slot for the orchestrator to merge.  A SIGKILLed worker
+    simply never ships its spans — the orchestrator's attempt span
+    records the loss.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
     apply_worker_state(*init_state)
+    tracer = tracing.start_tracing(process=tracing.worker_process_label()) if tracing_on else None
     threading.Thread(
         target=_heartbeat_loop, args=(hb, heartbeat_interval), daemon=True
     ).start()
@@ -261,20 +326,34 @@ def _worker_main(conn, hb, init_state, fault_plan, heartbeat_interval) -> None:
             return
         if msg[0] == "exit":
             return
-        _, task_id, attempt, fn_name, payload = msg
+        _, task_id, attempt, fn_name, payload, ctx = msg
         fault = fault_plan.decide(task_id, attempt) if fault_plan is not None else None
         if fault == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         if fault == "stall":
             time.sleep(fault_plan.stall_seconds)
+        task_span = None
+        if tracer is not None:
+            tracer.adopt(ctx[:2] if ctx is not None else None)
+            label = ctx[2] if ctx is not None and len(ctx) > 2 else task_id
+            task_span = tracer.begin(
+                label, category="worker.execute", attempt=attempt, pid=os.getpid()
+            )
+            tracer.default_parent = task_span.span_id
         try:
             fn = executors.get(fn_name)
             if fn is None:
                 fn = executors[fn_name] = _resolve(fn_name)
             value = fn(payload)
         except Exception as exc:
-            reply = ("error", task_id, attempt, type(exc).__name__, str(exc))
+            if task_span is not None:
+                tracer.finish(task_span, status=tracing.ERROR, error=type(exc).__name__)
+            aux = tracer.drain() if tracer is not None else None
+            reply = ("error", task_id, attempt, type(exc).__name__, str(exc), aux)
         else:
+            if task_span is not None:
+                tracer.finish(task_span)
+            aux = tracer.drain() if tracer is not None else None
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(blob).hexdigest()
             if fault == "corrupt":
@@ -282,7 +361,7 @@ def _worker_main(conn, hb, init_state, fault_plan, heartbeat_interval) -> None:
                 corrupted = bytearray(blob)
                 corrupted[offset] ^= mask
                 blob = bytes(corrupted)
-            reply = ("ok", task_id, attempt, blob, digest)
+            reply = ("ok", task_id, attempt, blob, digest, aux)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -304,6 +383,8 @@ class PoolTask:
     fn: str                 # "module:function" resolved inside the worker
     payload: tuple
     max_retries: int = 0
+    #: Human-readable span name ("li/bitslice4"); falls back to ``id``.
+    label: str = ""
 
 
 @dataclass
@@ -332,14 +413,19 @@ class _TaskState:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "hb", "state", "dispatched_at")
+    __slots__ = ("proc", "conn", "hb", "state", "dispatched_at", "lane", "span")
 
-    def __init__(self, proc, conn, hb) -> None:
+    def __init__(self, proc, conn, hb, lane: int = 0) -> None:
         self.proc = proc
         self.conn = conn
         self.hb = hb
         self.state: _TaskState | None = None
         self.dispatched_at = 0.0
+        #: Stable per-worker render lane for the orchestrator's attempt
+        #: spans — one Perfetto track per worker slot, respawns included.
+        self.lane = lane
+        #: In-flight attempt span (tracing on only).
+        self.span = None
 
 
 class SupervisedPool:
@@ -370,8 +456,10 @@ class SupervisedPool:
         self.policy = policy or SupervisorPolicy()
         self.init_state = init_state if init_state is not None else current_worker_state()
         self.fault_plan = fault_plan
+        self.tracer = tracing.active_tracer()
         self._ctx = get_context(_MP_CONTEXT)
         self._workers: list[_Worker] = []
+        self._next_lane = 0
         self._drain = False
         self._old_handlers: list[tuple[int, object]] = []
 
@@ -404,18 +492,23 @@ class SupervisedPool:
                 pass
         self._workers.clear()
 
-    def _spawn_worker(self) -> _Worker:
+    def _spawn_worker(self, lane: int | None = None) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
         hb = RawValue("d", 0.0)
         proc = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, hb, self.init_state, self.fault_plan,
-                  self.policy.heartbeat_interval),
+                  self.policy.heartbeat_interval, self.tracer is not None),
             daemon=True,
         )
         proc.start()
         child_conn.close()  # parent must not hold the child end: EOF detection
-        return _Worker(proc, parent_conn, hb)
+        if lane is None:
+            lane = self._next_lane
+            self._next_lane += 1
+        if self.tracer is not None:
+            self.tracer.mark("worker.spawn", category="worker", lane=lane, pid=proc.pid)
+        return _Worker(proc, parent_conn, hb, lane=lane)
 
     # ------------------------------------------------------------ signals
 
@@ -501,9 +594,18 @@ class SupervisedPool:
         worker.state = state
         worker.dispatched_at = time.monotonic()
         emit("dispatch", state.task, state.attempts)
+        ctx = None
+        if self.tracer is not None:
+            label = state.task.label or state.task.id
+            worker.span = self.tracer.begin(
+                label, category="cell.attempt", lane=worker.lane,
+                attempt=state.attempts, worker_lane=worker.lane,
+            )
+            ctx = (*self.tracer.context(worker.span), label)
         try:
             worker.conn.send(
-                ("task", state.task.id, state.attempts, state.task.fn, state.task.payload)
+                ("task", state.task.id, state.attempts, state.task.fn,
+                 state.task.payload, ctx)
             )
         except (BrokenPipeError, OSError):  # pragma: no cover - spawn-time race
             self._worker_lost(worker, "worker pipe broke at dispatch",
@@ -511,16 +613,25 @@ class SupervisedPool:
 
     def _on_message(self, worker, msg, outcomes, waiting, emit) -> None:
         state = worker.state
+        span = worker.span
         worker.state = None
+        worker.span = None
         kind = msg[0]
         if state is None or msg[1] != state.task.id:  # pragma: no cover - protocol guard
             return
+        aux = msg[5] if len(msg) > 5 else None
+        if self.tracer is not None:
+            self.tracer.ingest(aux)
         if kind == "error":
-            _, _, _, error, message = msg
+            error, message = msg[3], msg[4]
+            if self.tracer is not None and span is not None:
+                self.tracer.finish(span, status=tracing.ERROR, error=error)
             self._register_failure(state, error, message, outcomes, waiting, emit)
             return
-        _, _, _, blob, digest = msg
+        blob, digest = msg[3], msg[4]
         if hashlib.sha256(blob).hexdigest() != digest:
+            if self.tracer is not None and span is not None:
+                self.tracer.finish(span, status=tracing.ERROR, error="ResultCorruption")
             emit("corrupt", state.task,
                  f"result payload failed checksum on attempt {state.attempts}")
             self._register_failure(
@@ -529,6 +640,8 @@ class SupervisedPool:
                 outcomes, waiting, emit,
             )
             return
+        if self.tracer is not None and span is not None:
+            self.tracer.finish(span)
         value = pickle.loads(blob)
         outcomes[state.task.id] = TaskOutcome(
             task_id=state.task.id, value=value, attempts=state.attempts
@@ -566,7 +679,15 @@ class SupervisedPool:
     def _worker_lost(self, worker, reason, outcomes, waiting, emit, kill=False) -> None:
         """A worker died or must die: reap it, respawn, retry its cell."""
         state = worker.state
+        span = worker.span
         worker.state = None
+        worker.span = None
+        if self.tracer is not None:
+            if span is not None:
+                self.tracer.finish(span, status=tracing.ERROR, error="WorkerCrash",
+                                   reason=reason)
+            self.tracer.mark("worker.lost", category="worker", lane=worker.lane,
+                             reason=reason)
         if kill:
             try:
                 worker.proc.kill()
@@ -582,7 +703,7 @@ class SupervisedPool:
             pass
         self._workers.remove(worker)
         if not self._drain:
-            self._workers.append(self._spawn_worker())
+            self._workers.append(self._spawn_worker(lane=worker.lane))
             emit("respawn", state.task if state else None, reason)
         if state is not None:
             self._register_failure(state, "WorkerCrash", reason, outcomes, waiting, emit)
@@ -590,10 +711,14 @@ class SupervisedPool:
     def _register_failure(self, state, error, message, outcomes, waiting, emit) -> None:
         task = state.task
         if state.attempts <= task.max_retries:
-            state.ready_at = time.monotonic() + self.policy.retry_delay(
-                task.id, state.attempts
-            )
+            delay = self.policy.retry_delay(task.id, state.attempts)
+            state.ready_at = time.monotonic() + delay
             waiting.append(state)
+            if self.tracer is not None:
+                self.tracer.mark(
+                    "cell.backoff", category="cell", attempt=state.attempts,
+                    delay_seconds=round(delay, 3), error=error,
+                )
             emit("retry", task, f"{error}: {message}")
             return
         quarantined = task.max_retries > 0
@@ -620,12 +745,20 @@ def _execute_cell(payload) -> tuple[SimStats, object]:
     from repro.timing.simulator import simulate
 
     name, config, max_steps, warmup, iters, skip, profile = payload
-    trace, record = runner.collect_trace_resilient(
-        name, max_steps + warmup, iters=iters, skip=skip, profile=profile
-    )
+    tracer = tracing.active_tracer()
+    with _tspan(tracer, f"collect.{name}", category="collect"):
+        trace, record = runner.collect_trace_resilient(
+            name, max_steps + warmup, iters=iters, skip=skip, profile=profile
+        )
     if trace is None:
         raise RuntimeError(record.describe())
-    stats = simulate(config, trace, warmup=warmup)
+    t0 = time.perf_counter()
+    with _tspan(tracer, f"simulate.{name}/{config.name}", category="simulate"):
+        stats = simulate(config, trace, warmup=warmup)
+    if tracer is not None:
+        tracer.profiler.add(
+            f"simulate.{name}", time.perf_counter() - t0, items=stats.instructions
+        )
     return stats, record
 
 
@@ -673,6 +806,7 @@ def run_sweep(
     policy: SupervisorPolicy | None = None,
     fault_plan: ProcessFaultPlan | None = None,
     keep_going: bool = False,
+    progress=None,
 ):
     """Run a (benchmark × config) grid under supervision, journaled.
 
@@ -688,6 +822,14 @@ def run_sweep(
     fresh retry budget.  Merged results are bit-identical to an
     uninterrupted run because every cell is a pure function and
     :meth:`SimStats.merge` is commutative.
+
+    When a tracer is active (``--trace-spans``) the whole lifecycle is
+    spanned: a ``sweep.run`` root, journal load/replay, one completed
+    ``cell`` span per done cell (resumed cells get a zero-cost span
+    flagged ``resume``), per-attempt spans on one lane per worker, and
+    retry/quarantine/straggler annotations.  *progress* (a
+    :class:`~repro.experiments.progress.SweepProgress`) drives the
+    ``--live`` status line from the same event stream.
     """
     global _last_report
     from repro.experiments import runner
@@ -696,11 +838,20 @@ def run_sweep(
     from repro.workloads import get_workload
 
     policy = policy or SupervisorPolicy()
+    names, configs = list(names), list(configs)
+    tracer = tracing.active_tracer()
+    session = active_session()
+    root = None
+    if tracer is not None:
+        root = tracer.begin(
+            "sweep.run", category="sweep",
+            benchmarks=len(names), configs=len(configs), jobs=jobs,
+        )
+        tracer.default_parent = root.span_id
     if fault_plan is None:
         fault_plan = ProcessFaultPlan.from_env()
     orch_kill_after = int(os.environ.get(ORCH_KILL_ENV_VAR, "0") or 0)
 
-    names, configs = list(names), list(configs)
     report = SupervisorReport(cells_total=len(names) * len(configs))
     failures: list[FailureRecord] = []
     degraded: list[FailureRecord] = []
@@ -725,33 +876,37 @@ def run_sweep(
             report.cells_total -= len(configs)
     cells: list[CellRecord] = []
     specs: dict[str, tuple] = {}
+    labels: dict[str, str] = {}
     for name in ok_names:
         for config in configs:
             key = cell_key(name, config, max_steps, warmup, iters, skip, profile,
                            images[name])
             cells.append(CellRecord(benchmark=name, config=config.name, key=key))
             specs[key] = (name, config, max_steps, warmup, iters, skip, profile)
+            labels[key] = f"{name}/{config.name}"
 
     if journal_path is not None:
         path = Path(journal_path)
         if resume and path.exists():
-            journal = SweepJournal.load(path)
-            journal.match_cells(cells)
+            with _tspan(tracer, "journal.load", category="journal", path=str(path)):
+                journal = SweepJournal.load(path)
+                journal.match_cells(cells)
         else:
-            journal = SweepJournal.create(
-                path,
-                spec={
-                    "benchmarks": ok_names,
-                    "configs": [c.name for c in configs],
-                    "max_steps": max_steps,
-                    "warmup": warmup,
-                    "iters": iters,
-                    "skip": skip,
-                    "profile": profile,
-                    "images": images,
-                },
-                cells=cells,
-            )
+            with _tspan(tracer, "journal.create", category="journal", path=str(path)):
+                journal = SweepJournal.create(
+                    path,
+                    spec={
+                        "benchmarks": ok_names,
+                        "configs": [c.name for c in configs],
+                        "max_steps": max_steps,
+                        "warmup": warmup,
+                        "iters": iters,
+                        "skip": skip,
+                        "profile": profile,
+                        "images": images,
+                    },
+                    cells=cells,
+                )
     else:
         journal = _NullJournal(cells)
 
@@ -760,42 +915,80 @@ def run_sweep(
     # re-executed (never trusted); failed/quarantined cells get a fresh
     # retry budget.
     results: dict[str, SimStats] = {}
-    for cell in journal.cells:
-        if cell.state == DONE:
-            stats = journal.load_result(cell.key)
-            if stats is None:
-                report.corrupt_results += 1
+    with _tspan(tracer, "journal.replay", category="journal"):
+        for cell in journal.cells:
+            if cell.state == DONE:
+                stats = journal.load_result(cell.key)
+                if stats is None:
+                    report.corrupt_results += 1
+                    cell.state = PENDING
+                    cell.error = "stored result missing or corrupt; re-executing"
+                else:
+                    results[cell.key] = stats
+                    report.resume_hits += 1
+                    if tracer is not None:
+                        # The one completed span a resumed cell gets: it
+                        # cost a journal read, not a re-execution.
+                        tracer.record(
+                            labels.get(cell.key, cell.key), category="cell",
+                            resume=True, attempts=cell.attempts,
+                        )
+            elif cell.state in (FAILED, QUARANTINED):
                 cell.state = PENDING
-                cell.error = "stored result missing or corrupt; re-executing"
-            else:
-                results[cell.key] = stats
-                report.resume_hits += 1
-        elif cell.state in (FAILED, QUARANTINED):
-            cell.state = PENDING
-            cell.error = None
+                cell.error = None
     journal.flush()
 
     pending = [cell for cell in journal.cells if cell.state == PENDING]
+    if progress is not None:
+        progress.set_total(report.cells_total)
+        if report.resume_hits:
+            progress.resume_hit(report.resume_hits)
     executed = 0
+    failed_cells = 0
     dispatched_at: dict[str, float] = {}
     cell_wall: dict[str, float] = {}
+    cell_spans: dict[str, object] = {}
+    attempts_by_key: dict[str, int] = {}
+    inflight: set[str] = set()
 
     def on_event(kind, task, info) -> None:
-        nonlocal executed
+        nonlocal executed, failed_cells
         if kind == "dispatch":
             if info > 1:
                 report.retries += 1
+            attempts_by_key[task.id] = info
             dispatched_at[task.id] = time.monotonic()
+            inflight.add(task.id)
             journal.mark_running(task.id)
+            if tracer is not None and task.id not in cell_spans:
+                cell_spans[task.id] = tracer.begin(
+                    labels.get(task.id, task.id), category="cell"
+                )
+            if progress is not None:
+                progress.dispatch(task.id, labels.get(task.id, task.id))
         elif kind == "done":
             stats, record = info
             cell_wall[task.id] = time.monotonic() - dispatched_at.get(task.id, time.monotonic())
+            inflight.discard(task.id)
             if record is not None and record.degraded_steps is not None:
                 degraded.append(record)
                 runner.set_budget_override(record.benchmark, record.degraded_steps)
             journal.mark_done(task.id, stats)
             executed += 1
             report.cells_executed += 1
+            if tracer is not None:
+                span = cell_spans.pop(task.id, None)
+                if span is not None:
+                    tracer.finish(span, attempts=attempts_by_key.get(task.id, 1))
+            if progress is not None:
+                progress.retire(task.id)
+            if session is not None:
+                session.note_sweep_progress(
+                    done=report.resume_hits + executed,
+                    total=report.cells_total,
+                    failed=failed_cells,
+                    in_flight=len(inflight),
+                )
             if orch_kill_after and executed >= orch_kill_after:
                 # Chaos: the orchestrator itself dies mid-sweep, with
                 # the journal flushed through this very cell.
@@ -808,7 +1001,29 @@ def run_sweep(
             report.respawns += 1
         elif kind == "failed":
             error, message, quarantined = info
+            inflight.discard(task.id)
+            failed_cells += 1
             journal.mark_failed(task.id, f"{error}: {message}", quarantined=quarantined)
+            if tracer is not None:
+                span = cell_spans.pop(task.id, None)
+                if span is not None:
+                    tracer.finish(
+                        span, status=tracing.ERROR, error=error,
+                        quarantined=quarantined,
+                        attempts=attempts_by_key.get(task.id, 1),
+                    )
+                if quarantined:
+                    tracer.mark("cell.quarantine", category="cell",
+                                cell=labels.get(task.id, task.id), error=error)
+            if progress is not None:
+                progress.retire(task.id, failed=True)
+            if session is not None:
+                session.note_sweep_progress(
+                    done=report.resume_hits + executed,
+                    total=report.cells_total,
+                    failed=failed_cells,
+                    in_flight=len(inflight),
+                )
 
     if pending:
         tasks = [
@@ -817,6 +1032,7 @@ def run_sweep(
                 fn="repro.experiments.supervisor:_execute_cell",
                 payload=specs[cell.key],
                 max_retries=policy.max_cell_retries,
+                label=labels.get(cell.key, ""),
             )
             for cell in pending
         ]
@@ -833,6 +1049,8 @@ def run_sweep(
             journal.summary = report.to_dict()
             journal.flush()
             _last_report = report
+            if tracer is not None and root is not None:
+                tracer.finish(root, status=tracing.ERROR, error="Drained")
             raise
         for cell in pending:
             outcome = outcomes.get(cell.key)
@@ -861,10 +1079,25 @@ def run_sweep(
         if stats is not None:
             grid.setdefault(cell.benchmark, {})[cell.config] = stats
 
+    # Campaign-health detectors: cells far beyond the median wall time,
+    # and cells that burned retries.  Both land in the manifest's
+    # supervisor block (and the journal summary) with the counters.
+    report.stragglers = detect_stragglers(cell_wall, labels, policy.straggler_factor)
+    report.retry_storms = sorted(
+        (
+            {"cell": labels.get(key, key), "attempts": n}
+            for key, n in attempts_by_key.items()
+            if n > 1
+        ),
+        key=lambda rec: -rec["attempts"],
+    )
+    if tracer is not None:
+        for rec in report.stragglers:
+            tracer.mark("cell.straggler", category="cell", **rec)
+
     journal.summary = report.to_dict()
     journal.flush()
     _last_report = report
-    session = active_session()
     if session is not None:
         from repro.timing.fastpath import default_timing_mode
 
@@ -880,6 +1113,14 @@ def run_sweep(
                 session.record_run(stats, cell_wall.get(cell.key, 0.0), timing_mode=mode)
         report.publish(session.registry)
         session.note_supervisor(report)
+    if tracer is not None and root is not None:
+        tracer.finish(
+            root,
+            status=tracing.ERROR if failures else tracing.OK,
+            cells_executed=report.cells_executed,
+            resume_hits=report.resume_hits,
+            failed=len(failures),
+        )
     if failures and not keep_going:
         raise RuntimeError(failures[0].describe())
     return grid, failures, degraded, report
@@ -894,6 +1135,7 @@ __all__ = [
     "TaskOutcome",
     "apply_worker_state",
     "current_worker_state",
+    "detect_stragglers",
     "last_report",
     "reset_stats",
     "run_sweep",

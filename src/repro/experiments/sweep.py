@@ -97,8 +97,15 @@ def run(
     resume: bool = False,
     policy: SupervisorPolicy | None = None,
     keep_going: bool = False,
+    progress=None,
 ) -> SweepResult:
-    """Run the supervised sweep experiment."""
+    """Run the supervised sweep experiment.
+
+    *progress* is an optional
+    :class:`~repro.experiments.progress.SweepProgress` (the CLI's
+    ``--live``); it renders to stderr, so the deterministic stdout
+    table — the chaos harness's byte-identity invariant — is untouched.
+    """
     config_names = list(config_names)
     configs = parse_configs(config_names)
     grid, failures, degraded, report = run_sweep(
@@ -112,6 +119,7 @@ def run(
         resume=resume,
         policy=policy,
         keep_going=keep_going,
+        progress=progress,
     )
     return SweepResult(
         benchmarks=list(benchmarks),

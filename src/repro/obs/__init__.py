@@ -13,16 +13,33 @@ telemetry (see ``docs/observability.md``):
 * :mod:`repro.obs.manifest` — run manifests (config, seed, git SHA,
   package versions) and ``BENCH_<run>.json`` perf snapshots;
 * :mod:`repro.obs.session` — the per-driver-run aggregate the CLI's
-  ``--metrics-out`` / ``--trace-events`` / ``--profile`` flags activate.
+  ``--metrics-out`` / ``--trace-events`` / ``--profile`` flags activate;
+* :mod:`repro.obs.tracing` — sweep-wide distributed spans (orchestrator,
+  workers, cells) with cross-process context propagation, merged into a
+  single Perfetto timeline plus a schema-validated JSONL span log
+  (the CLI's ``--trace-spans`` / ``--live``).
 """
 
 from repro.obs.events import (
     CycleEvent,
     EventTrace,
+    merge_chrome_traces,
     validate_event,
     validate_jsonl_file,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    active_tracer,
+    end_tracing,
+    spans_to_chrome_trace,
+    start_tracing,
+    validate_span,
+    validate_spans_file,
+    write_span_chrome_trace,
+    write_spans_jsonl,
 )
 from repro.obs.manifest import (
     build_manifest,
@@ -51,18 +68,29 @@ __all__ = [
     "MetricsRegistry",
     "ObsSession",
     "PhaseProfiler",
+    "Span",
     "Timer",
+    "Tracer",
     "active_session",
+    "active_tracer",
     "build_manifest",
     "end_session",
+    "end_tracing",
     "load_bench_snapshot",
+    "merge_chrome_traces",
+    "spans_to_chrome_trace",
     "start_session",
+    "start_tracing",
     "validate_bench_snapshot",
     "validate_event",
     "validate_jsonl_file",
     "validate_manifest",
     "validate_metrics_dump",
+    "validate_span",
+    "validate_spans_file",
     "write_bench_snapshot",
     "write_chrome_trace",
     "write_jsonl",
+    "write_span_chrome_trace",
+    "write_spans_jsonl",
 ]

@@ -108,6 +108,26 @@ class PhaseProfiler:
     def to_dict(self) -> dict:
         return {name: s.to_dict() for name, s in sorted(self.phases.items())}
 
+    def merge_dict(self, payload: dict) -> None:
+        """Fold another profiler's :meth:`to_dict` into this one.
+
+        Used by the sweep tracer to accumulate worker-side phase
+        samples shipped home with results.  Malformed entries are
+        skipped — telemetry must never fail a sweep.
+        """
+        for name, stat in payload.items():
+            if not isinstance(stat, dict):
+                continue
+            try:
+                self.add(
+                    str(name),
+                    float(stat.get("seconds", 0.0)),
+                    items=int(stat.get("items", 0)),
+                    calls=int(stat.get("calls", 1)),
+                )
+            except (TypeError, ValueError):
+                continue
+
     def publish(self, registry) -> None:
         """Mirror every phase into a metrics registry (``profile.*``)."""
         for name, s in self.phases.items():

@@ -87,6 +87,23 @@ class ObsSession:
         self.registry.timer("trace_cache.load_wall", help="cache load wall time").add(seconds)
         self.heartbeat(f"cache.hit.{benchmark}")
 
+    def note_sweep_progress(
+        self, done: int, total: int, failed: int = 0, in_flight: int = 0
+    ) -> None:
+        """Called by the sweep orchestrator as cells complete.
+
+        This is what makes ``--heartbeat`` useful during ``--jobs``
+        sweeps: cells execute inside workers (where no session exists),
+        so without an orchestrator-level hook a parallel sweep was
+        silent until the end.
+        """
+        msg = f"sweep {done}/{total} cells"
+        if in_flight:
+            msg += f", {in_flight} in flight"
+        if failed:
+            msg += f", {failed} failed"
+        self.heartbeat(msg)
+
     def note_supervisor(self, report) -> None:
         """Called after a supervised sweep finishes; *report* is a
         :class:`~repro.experiments.supervisor.SupervisorReport` (its
