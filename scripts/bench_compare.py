@@ -48,7 +48,9 @@ def compare(baseline: dict, current: dict, threshold: float, strict_throughput: 
     regressions: list[str] = []
 
     common = sorted(set(base_cells) & set(cur_cells))
-    if not common:
+    if not common and (base_cells or cur_cells):
+        # Emulator-tier snapshots carry no IPC cells at all; only flag
+        # when at least one snapshot actually had some to compare.
         regressions.append("no common benchmark/config cells between the snapshots")
     for cell in common:
         base, cur = base_cells[cell], cur_cells[cell]
@@ -102,13 +104,19 @@ _TIMING_SECTIONS = (
     ("detailed_instructions_per_second", "detailed", "inst/s", False),
     ("timing_speedup", "timing speedup", "x", False),
     ("detailed_speedup", "detailed speedup", "x", False),
+    ("emulator_instructions_per_second", "emulator", "inst/s", False),
 )
 
-#: Scalar per-benchmark keys gated by default: geomean fast/reference
-#: speedups from ``scripts/bench_timing.py``.
+#: Scalar per-benchmark keys: geomean fast/reference speedups from
+#: ``scripts/bench_timing.py`` (gated — averaged across configs, so
+#: stable), plus the per-benchmark blocks-vs-fast emulator speedups
+#: from ``scripts/bench_emulator.py`` (informational — single-workload
+#: ratios jitter beyond 10% run-to-run; their geomean is gated from the
+#: manifest instead, see ``_emulator_geomean_lines``).
 _TIMING_GEOMEANS = (
-    ("timing_speedup_geomean", "timing speedup (geomean)"),
-    ("detailed_speedup_geomean", "detailed speedup (geomean)"),
+    ("timing_speedup_geomean", "timing speedup (geomean)", True),
+    ("detailed_speedup_geomean", "detailed speedup (geomean)", True),
+    ("blocks_speedup", "blocks speedup (vs fast)", False),
 )
 
 
@@ -147,7 +155,7 @@ def _timing_lines(baseline, current, threshold, strict_throughput, regressions):
             lines.append(
                 f"  {cell[0]:<10s} {cell[1]:<20s} {label:<17s} {shown} ({delta:+6.1%}) {note}"
             )
-    for key, label in _TIMING_GEOMEANS:
+    for key, label, gated in _TIMING_GEOMEANS:
         for name in sorted(set(baseline["benchmarks"]) & set(current["benchmarks"])):
             base = baseline["benchmarks"][name].get(key)
             cur = current["benchmarks"][name].get(key)
@@ -155,8 +163,8 @@ def _timing_lines(baseline, current, threshold, strict_throughput, regressions):
                 continue
             base, cur = float(base), float(cur)
             delta = (cur - base) / base
-            note = ""
-            if delta < -threshold:
+            note = "" if gated else "(informational)"
+            if gated and delta < -threshold:
                 note = "  <-- REGRESSION"
                 regressions.append(
                     f"{name}: {label} {base:.2f}x -> {cur:.2f}x ({delta:+.1%})"
@@ -164,7 +172,29 @@ def _timing_lines(baseline, current, threshold, strict_throughput, regressions):
             lines.append(
                 f"  {name:<10s} {label:<32s} {base:8.2f}x -> {cur:8.2f}x ({delta:+6.1%}) {note}"
             )
+    lines.extend(_emulator_geomean_lines(baseline, current, threshold, regressions))
     return lines
+
+
+def _emulator_geomean_lines(baseline, current, threshold, regressions):
+    """Gate the geomean blocks-vs-fast speedup recorded in the manifest
+    by ``scripts/bench_emulator.py`` (absent from other snapshots)."""
+    base = baseline.get("manifest", {}).get("blocks_speedup_geomean")
+    cur = current.get("manifest", {}).get("blocks_speedup_geomean")
+    if base is None or cur is None or float(base) <= 0:
+        return []
+    base, cur = float(base), float(cur)
+    delta = (cur - base) / base
+    note = ""
+    if delta < -threshold:
+        note = "  <-- REGRESSION"
+        regressions.append(
+            f"blocks speedup (geomean) {base:.2f}x -> {cur:.2f}x ({delta:+.1%})"
+        )
+    return [
+        f"  {'*':<10s} {'blocks speedup (geomean)':<32s} "
+        f"{base:8.2f}x -> {cur:8.2f}x ({delta:+6.1%}) {note}"
+    ]
 
 
 def _trace_cache_lines(baseline: dict, current: dict) -> list[str]:

@@ -7,21 +7,29 @@ pre-decoded at load time so the interpreter loop touches only Python
 ints and the pre-built :class:`~repro.isa.instructions.Instruction`
 objects.
 
-Two interpreters share the machine state:
+Three interpreters share the machine state:
 
 * the **fast path** (default): every decoded instruction is pre-bound
   once to a specialized closure from :mod:`repro.emulator.dispatch`, so
   the execute loop is threaded code with zero mnemonic string
   comparisons, and :meth:`run` retires instructions without building
   ``TraceRecord`` objects it would only discard;
+* the **blocks tier** (``REPRO_DISPATCH=blocks``): hot basic blocks
+  and superblocks compile to fused Python functions
+  (:mod:`repro.emulator.blocks`) with registers in host locals and
+  batched memory runs, falling back to the pre-bound handlers at block
+  exits, syscalls and cold code;
 * the **golden reference** (:meth:`step_reference`): the original
-  ``if``/``elif`` interpreter, kept verbatim as the oracle that the
-  fast path is differentially checked against
-  (:func:`repro.emulator.dispatch.cross_check`).
+  ``if``/``elif`` interpreter, kept verbatim as the oracle that both
+  fast tiers are differentially checked against
+  (:func:`repro.emulator.dispatch.cross_check`,
+  :func:`repro.emulator.blocks.cross_check_blocks`).
 
 Set ``REPRO_DISPATCH=reference`` (or pass ``dispatch="reference"``) to
 force the golden interpreter everywhere — useful for A/B performance
-measurements and for bisecting a suspected fast-path bug.
+measurements and for bisecting a suspected fast-path bug.  An
+in-process override (:func:`set_dispatch_mode`) beats the environment
+and is re-applied inside sweep workers.
 """
 
 from __future__ import annotations
@@ -42,14 +50,50 @@ from repro.isa.registers import FCC, FP_BASE, HI, LO, NUM_EXT_REGS
 
 _M = 0xFFFFFFFF
 
-#: Environment variable selecting the interpreter (``fast``/``reference``).
+#: Environment variable selecting the interpreter
+#: (``fast``/``reference``/``blocks``).
 DISPATCH_ENV = "REPRO_DISPATCH"
+
+#: In-process dispatch-mode override (beats the environment).  Workers
+#: spawned for parallel sweeps re-apply this the same way the timing
+#: layer re-applies its mode override (see experiments.supervisor).
+_dispatch_override: str | None = None
+
+
+def _canon_dispatch(value) -> str:
+    v = str(value).strip().lower()
+    if v in ("reference", "ref", "slow"):
+        return "reference"
+    if v in ("blocks", "block", "compiled"):
+        return "blocks"
+    return "fast"
 
 
 def default_dispatch() -> str:
-    """Interpreter selected by ``REPRO_DISPATCH`` (default ``fast``)."""
-    value = os.environ.get(DISPATCH_ENV, "fast").strip().lower()
-    return "reference" if value in ("reference", "ref", "slow") else "fast"
+    """Interpreter selected by the override or ``REPRO_DISPATCH``.
+
+    Returns ``"fast"`` (pre-bound dispatch, the default),
+    ``"reference"`` (golden interpreter) or ``"blocks"``
+    (block-compiled tier, :mod:`repro.emulator.blocks`).
+    """
+    if _dispatch_override is not None:
+        return _dispatch_override
+    return _canon_dispatch(os.environ.get(DISPATCH_ENV, "fast"))
+
+
+def set_dispatch_mode(mode: str | None) -> str | None:
+    """Set (or clear, with ``None``) the in-process dispatch override.
+
+    Returns the canonicalized mode now in force as the override.
+    """
+    global _dispatch_override
+    _dispatch_override = None if mode is None else _canon_dispatch(mode)
+    return _dispatch_override
+
+
+def dispatch_mode_override() -> str | None:
+    """Current in-process override, or ``None`` when the env decides."""
+    return _dispatch_override
 
 
 class Machine:
@@ -64,7 +108,12 @@ class Machine:
         instret: retired instruction count.
     """
 
-    def __init__(self, program: Program, dispatch: str | None = None) -> None:
+    def __init__(
+        self,
+        program: Program,
+        dispatch: str | None = None,
+        block_threshold: int | None = None,
+    ) -> None:
         self.program = program
         self.memory = SparseMemory()
         self.memory.write_block(program.data_base, bytes(program.data))
@@ -79,10 +128,16 @@ class Machine:
             except EncodingError:
                 decoded.append(None)
         self.decoded = decoded
-        self.dispatch = dispatch if dispatch is not None else default_dispatch()
+        self.dispatch = (
+            _canon_dispatch(dispatch) if dispatch is not None else default_dispatch()
+        )
         self._fast = self.dispatch == "fast"
-        # Pre-bound handlers, parallel to ``decoded`` (fast path only).
-        self._bound = _dispatch.bind_program(decoded) if self._fast else None
+        self._blocks = self.dispatch == "blocks"
+        # Pre-bound handlers, parallel to ``decoded`` (fast + blocks:
+        # the blocks tier falls back to these between compiled blocks).
+        self._bound = (
+            _dispatch.bind_program(decoded) if self.dispatch != "reference" else None
+        )
         self.regs: list[int] = [0] * NUM_EXT_REGS
         self.regs[29] = STACK_TOP  # $sp
         self.regs[28] = (program.data_base + 0x8000) & _M  # $gp convention
@@ -91,6 +146,12 @@ class Machine:
         self.exit_code = 0
         self.output = bytearray()
         self.instret = 0
+        if self._blocks:
+            from repro.emulator.blocks import BlockEngine
+
+            self._engine = BlockEngine(self, threshold=block_threshold)
+        else:
+            self._engine = None
 
     # ------------------------------------------------------------------ fetch
 
@@ -126,8 +187,10 @@ class Machine:
         """
         if self.halted:
             raise EmulatorError("machine is halted")
-        if not self._fast:
+        if self._bound is None:
             return self.step_reference()
+        # Fast and blocks modes share the pre-bound single-step path;
+        # the blocks engine only accelerates the bulk _loop.
         pc = self.pc
         bound = self._bound
         index = (pc - self.program.text_base) >> 2
@@ -481,6 +544,105 @@ class Machine:
                     watchdog.poll(n)
                 if emit:
                     yield record
+        elif self._blocks:
+            # Block-compiled tier: hot leaders execute as fused compiled
+            # functions (one call per block, watchdog polled per block —
+            # a step-budget breach is detected at block granularity,
+            # bounded by MAX_BLOCK_LEN); everything else single-steps
+            # through the pre-bound handlers.  A compiled body that
+            # raises commits nothing, so the engine replays the block
+            # per-instruction to reproduce reference fault semantics.
+            eng = self._engine
+            bound = self._bound
+            base = self.program.text_base
+            size = len(bound)
+            table = eng.trace_table if emit else eng.run_table
+            execs = 0
+            insts = 0
+            fallback = 0
+            try:
+                while not self.halted and n < max_steps:
+                    pc = self.pc
+                    index = (pc - base) >> 2
+                    if pc & 3 or not 0 <= index < size:
+                        self.fetch(pc)  # raises the canonical IllegalInstruction
+                    entry = table[index]
+                    if entry is not None:
+                        cls = entry.__class__
+                        if cls is int:
+                            if entry <= 1:
+                                eng.compile_block(index, emit)
+                                entry = table[index]
+                                cls = None if entry is None else tuple
+                            else:
+                                table[index] = entry - 1
+                                cls = None
+                        if cls is tuple:
+                            n_max, fn = entry
+                            if emit:
+                                if n + n_max <= max_steps:
+                                    try:
+                                        records = fn(self)
+                                    except Exception as exc:  # replay per-inst
+                                        for record in eng.replay(self, n_max, exc):
+                                            n += 1
+                                            yield record
+                                        raise  # pragma: no cover - replay re-raises
+                                    cnt = len(records)
+                                    n += cnt
+                                    execs += 1
+                                    insts += cnt
+                                    if watchdog is not None:
+                                        watchdog.poll(n)
+                                    yield from records
+                                    continue
+                            else:
+                                # Chain loop: the run variant returns the
+                                # next leader's index packed with the
+                                # retired count, so consecutive compiled
+                                # blocks execute back-to-back without
+                                # re-deriving anything from the PC.
+                                ran = False
+                                while n + n_max <= max_steps:
+                                    try:
+                                        ret = fn(self)
+                                    except Exception as exc:  # replay per-inst
+                                        for _ in eng.replay(self, n_max, exc):
+                                            n += 1
+                                        raise  # pragma: no cover - replay re-raises
+                                    ran = True
+                                    cnt = ret & 255
+                                    n += cnt
+                                    execs += 1
+                                    insts += cnt
+                                    if watchdog is not None:
+                                        watchdog.poll(n)
+                                    ni = (ret >> 8) - 1
+                                    if ni < 0:
+                                        break
+                                    nxt = table[ni]
+                                    if nxt.__class__ is not tuple:
+                                        break  # cold/profiling leader: outer loop
+                                    n_max, fn = nxt
+                                if ran:
+                                    continue
+                                # Budget too tight for this block: retire
+                                # its instructions one at a time below.
+                    handler = bound[index]
+                    if handler is None:
+                        self.fetch(pc)  # raises the canonical IllegalInstruction
+                    record = handler(self, emit)
+                    n += 1
+                    fallback += 1
+                    if watchdog is not None:
+                        watchdog.poll(n)
+                    if emit:
+                        yield record
+            finally:
+                eng.execs += execs
+                eng.insts += insts
+                eng.fallback += fallback
+                eng.flush_stats()
         else:
             while not self.halted and n < max_steps:
                 record = self.step_reference()
@@ -547,6 +709,8 @@ __all__ = [
     "SYS_EXIT",
     "bits_from_f32",
     "default_dispatch",
+    "dispatch_mode_override",
     "f32_from_bits",
+    "set_dispatch_mode",
     "to_signed",
 ]

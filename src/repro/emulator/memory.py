@@ -5,15 +5,32 @@ segments (text, data, stack), so storage is a dictionary of fixed-size
 pages allocated on first touch.  All multi-byte accesses are
 little-endian and must be naturally aligned, which catches workload
 bugs early (the PISA model traps on unaligned accesses too).
+
+Besides the scalar accessors there is a vectorized word-run layer
+(:meth:`SparseMemory.read_words` / :meth:`SparseMemory.write_words`):
+contiguous aligned word runs move through page-slice copies (numpy
+``frombuffer``/``tobytes`` above a small crossover, a plain loop
+below it — the crossover is measured by ``scripts/bench_host_ops.py``).
+The block-compiled execution tier (:mod:`repro.emulator.blocks`) batches
+adjacent load/store runs through it, and bulk image loading
+(:meth:`write_block`) uses the same page-slice idiom.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.harness.errors import MemoryFault
 
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
+
+#: Word-run length at which ``read_words``/``write_words`` switch from a
+#: plain Python loop to one numpy kernel per page span.  Below this the
+#: ~1 µs array-creation overhead exceeds the per-word saving (see the
+#: host-op cost table in docs/performance.md).
+NUMPY_WORDS_MIN = 16
 
 
 class AlignmentError(MemoryFault):
@@ -89,17 +106,96 @@ class SparseMemory:
         page[off + 2] = (value >> 16) & 0xFF
         page[off + 3] = (value >> 24) & 0xFF
 
+    # ------------------------------------------------------------ word runs
+
+    def read_words(self, addr: int, count: int) -> list[int]:
+        """Read *count* little-endian words starting at aligned *addr*.
+
+        Semantically identical to ``[read_word(addr + 4*i) ...]`` —
+        unmapped pages read as zero, a misaligned start raises
+        :class:`AlignmentError` before any access — but each page span
+        is decoded in one pass (numpy ``frombuffer`` above
+        ``NUMPY_WORDS_MIN`` words, a plain loop below it).
+        """
+        addr &= 0xFFFFFFFF
+        if addr & 3:
+            raise AlignmentError(f"unaligned word read at {addr:#x}")
+        out: list[int] = []
+        pages = self._pages
+        while count > 0:
+            off = addr & PAGE_MASK
+            span = min(count, (PAGE_SIZE - off) >> 2)
+            page = pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                out.extend([0] * span)
+            elif span >= NUMPY_WORDS_MIN:
+                out.extend(np.frombuffer(bytes(page[off : off + 4 * span]), dtype="<u4").tolist())
+            else:
+                for i in range(off, off + 4 * span, 4):
+                    out.append(
+                        page[i] | (page[i + 1] << 8) | (page[i + 2] << 16) | (page[i + 3] << 24)
+                    )
+            addr = (addr + 4 * span) & 0xFFFFFFFF
+            count -= span
+        return out
+
+    def write_words(self, addr: int, values) -> None:
+        """Write a sequence of words starting at aligned *addr*.
+
+        Semantically identical to ``write_word(addr + 4*i, v)`` in
+        order, with the same alignment trap, but one page-slice store
+        per span (numpy ``tobytes`` above ``NUMPY_WORDS_MIN`` words).
+        """
+        addr &= 0xFFFFFFFF
+        if addr & 3:
+            raise AlignmentError(f"unaligned word write at {addr:#x}")
+        i = 0
+        n = len(values)
+        while i < n:
+            off = addr & PAGE_MASK
+            span = min(n - i, (PAGE_SIZE - off) >> 2)
+            page = self._page(addr)
+            if span >= NUMPY_WORDS_MIN:
+                arr = np.asarray(values[i : i + span], dtype=np.uint64) & 0xFFFFFFFF
+                page[off : off + 4 * span] = arr.astype("<u4").tobytes()
+            else:
+                for v in values[i : i + span]:
+                    page[off] = v & 0xFF
+                    page[off + 1] = (v >> 8) & 0xFF
+                    page[off + 2] = (v >> 16) & 0xFF
+                    page[off + 3] = (v >> 24) & 0xFF
+                    off += 4
+            addr = (addr + 4 * span) & 0xFFFFFFFF
+            i += span
+
     # ------------------------------------------------------------------ bulk
 
     def write_block(self, addr: int, payload: bytes) -> None:
         """Copy *payload* into memory starting at *addr* (any alignment)."""
-        for i, b in enumerate(payload):
+        i = 0
+        n = len(payload)
+        while i < n:
             a = (addr + i) & 0xFFFFFFFF
-            self._page(a)[a & PAGE_MASK] = b
+            off = a & PAGE_MASK
+            span = min(n - i, PAGE_SIZE - off)
+            self._page(a)[off : off + span] = payload[i : i + span]
+            i += span
 
     def read_block(self, addr: int, size: int) -> bytes:
         """Read *size* bytes starting at *addr*."""
-        return bytes(self.read_byte(addr + i) for i in range(size))
+        out = bytearray()
+        i = 0
+        while i < size:
+            a = (addr + i) & 0xFFFFFFFF
+            off = a & PAGE_MASK
+            span = min(size - i, PAGE_SIZE - off)
+            page = self._pages.get(a >> PAGE_SHIFT)
+            if page is None:
+                out.extend(b"\x00" * span)
+            else:
+                out.extend(page[off : off + span])
+            i += span
+        return bytes(out)
 
     def read_cstring(self, addr: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated string (used by the print-string syscall)."""

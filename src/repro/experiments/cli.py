@@ -143,6 +143,11 @@ def _parser() -> argparse.ArgumentParser:
         help="timing-layer implementation: pre-bound fast path (default) or "
              "the golden reference loop (overrides $REPRO_TIMING)",
     )
+    perf.add_argument(
+        "--dispatch", choices=("fast", "reference", "blocks"), default=None,
+        help="emulator interpreter: pre-bound dispatch (default), the golden "
+             "reference loop, or the block-compiling tier (overrides $REPRO_DISPATCH)",
+    )
     sweep = p.add_argument_group("supervised sweep (docs/robustness.md)")
     sweep.add_argument(
         "--configs", nargs="+", default=None, metavar="NAME",
@@ -234,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.timing.fastpath import set_timing_mode
 
         set_timing_mode(args.timing)
+    if args.dispatch is not None:
+        from repro.emulator.machine import set_dispatch_mode
+
+        set_dispatch_mode(args.dispatch)
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
@@ -291,6 +300,7 @@ def _write_obs_outputs(args, session, argv) -> None:
     event trace (JSONL + Perfetto), and the BENCH_<run> perf snapshot."""
     import time
 
+    from repro.emulator.blocks import stats as block_stats
     from repro.experiments.supervisor import supervisor_stats
     from repro.harness.atomicio import atomic_write_text
     from repro.obs.manifest import build_manifest, write_bench_snapshot
@@ -311,6 +321,7 @@ def _write_obs_outputs(args, session, argv) -> None:
             "trace_cache": trace_cache.stats(),
             "jobs": args.jobs,
             "dispatch": default_dispatch(),
+            "blocks": block_stats() if default_dispatch() == "blocks" else None,
             "timing": default_timing_mode(),
             "supervisor": supervisor_stats(),
             "tracing": active_tracer().stats() if active_tracer() is not None else None,

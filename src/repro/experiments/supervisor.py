@@ -244,6 +244,7 @@ def current_worker_state() -> tuple:
     The same tuple is used at first spawn and at every respawn, so a
     replacement worker is indistinguishable from the one it replaces.
     """
+    from repro.emulator.machine import dispatch_mode_override
     from repro.experiments import runner
     from repro.timing.fastpath import timing_mode_override
 
@@ -254,11 +255,17 @@ def current_worker_state() -> tuple:
         str(trace_cache.cache_dir()) if enabled else None,
         enabled,
         timing_mode_override(),
+        dispatch_mode_override(),
     )
 
 
 def apply_worker_state(
-    wall_timeout, budget_overrides, cache_dir, cache_enabled, timing_mode=None
+    wall_timeout,
+    budget_overrides,
+    cache_dir,
+    cache_enabled,
+    timing_mode=None,
+    dispatch_mode=None,
 ) -> None:
     """Re-apply parent-process module state inside a fresh worker.
 
@@ -276,6 +283,10 @@ def apply_worker_state(
         from repro.timing.fastpath import set_timing_mode
 
         set_timing_mode(timing_mode)
+    if dispatch_mode is not None:
+        from repro.emulator.machine import set_dispatch_mode
+
+        set_dispatch_mode(dispatch_mode)
 
 
 def _resolve(fn_name: str):
@@ -1099,18 +1110,27 @@ def run_sweep(
     journal.flush()
     _last_report = report
     if session is not None:
+        from repro.emulator.machine import default_dispatch
         from repro.timing.fastpath import default_timing_mode
 
         # Cells simulate inside workers (no session there), so the
         # orchestrator records them for the BENCH snapshot here —
         # executed cells with their dispatch-to-done wall time, resumed
-        # cells at zero wall (they cost one journal read).
+        # cells at zero wall (they cost one journal read).  Workers
+        # re-apply both mode overrides (apply_worker_state), so the
+        # parent's defaults name what actually ran.
         mode = default_timing_mode()
+        dmode = default_dispatch()
         for cell in cells:
             stats = results.get(cell.key)
             if stats is not None:
                 session.current_benchmark = cell.benchmark
-                session.record_run(stats, cell_wall.get(cell.key, 0.0), timing_mode=mode)
+                session.record_run(
+                    stats,
+                    cell_wall.get(cell.key, 0.0),
+                    timing_mode=mode,
+                    dispatch_mode=dmode,
+                )
         report.publish(session.registry)
         session.note_supervisor(report)
     if tracer is not None and root is not None:

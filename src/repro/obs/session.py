@@ -34,6 +34,10 @@ class RunRecord:
     #: Timing-loop implementation that produced the run ("fast" /
     #: "reference"); empty when the caller predates the fast path.
     timing_mode: str = ""
+    #: Emulator interpreter that produced the run's trace ("fast" /
+    #: "reference" / "blocks"); empty when unknown (e.g. cache hit
+    #: recorded before the dispatch mode was plumbed through).
+    dispatch_mode: str = ""
 
     @property
     def instructions_per_second(self) -> float:
@@ -112,7 +116,9 @@ class ObsSession:
         self.supervisor = report.to_dict()
         self.heartbeat("sweep.supervised")
 
-    def record_run(self, stats, wall_seconds: float, timing_mode: str = "") -> None:
+    def record_run(
+        self, stats, wall_seconds: float, timing_mode: str = "", dispatch_mode: str = ""
+    ) -> None:
         """Called after one ``simulate()``; *stats* is a ``SimStats``."""
         benchmark = self.current_benchmark or "?"
         self.runs.append(
@@ -124,6 +130,7 @@ class ObsSession:
                 ipc=stats.ipc,
                 wall_seconds=wall_seconds,
                 timing_mode=timing_mode,
+                dispatch_mode=dispatch_mode,
             )
         )
         self.profiler.add(
@@ -180,6 +187,11 @@ class ObsSession:
             modes = {r.timing_mode for r in self.runs if r.benchmark == name and r.timing_mode}
             if modes:
                 rec["timing_mode"] = modes.pop() if len(modes) == 1 else "mixed"
+            dmodes = {
+                r.dispatch_mode for r in self.runs if r.benchmark == name and r.dispatch_mode
+            }
+            if dmodes:
+                rec["dispatch_mode"] = dmodes.pop() if len(dmodes) == 1 else "mixed"
         return out
 
     def finalize_registry(self) -> MetricsRegistry:

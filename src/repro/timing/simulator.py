@@ -864,10 +864,17 @@ def simulate(
         )
     if events is None:
         events = session.events
+    from repro.emulator.machine import default_dispatch
+
     t0 = time.perf_counter()
     sim = TimingSimulator(config, events=events, mode=mode)
     stats = sim.run(trace, max_instructions, warmup=warmup, watchdog=watchdog)
-    session.record_run(stats, time.perf_counter() - t0, timing_mode=sim.mode)
+    session.record_run(
+        stats,
+        time.perf_counter() - t0,
+        timing_mode=sim.mode,
+        dispatch_mode=default_dispatch(),
+    )
     return stats
 
 

@@ -8,7 +8,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.emulator.machine import Machine
+from repro.emulator import blocks
+from repro.emulator.machine import Machine, set_dispatch_mode
 from repro.experiments import runner, supervisor, trace_cache
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload
@@ -36,6 +37,8 @@ def _isolate_runner_globals(monkeypatch):
     trace_cache.configure(enabled=False)
     trace_cache.reset_stats()
     supervisor.reset_stats()
+    set_dispatch_mode(None)
+    blocks.reset_stats()
 
 
 @pytest.fixture(scope="session")

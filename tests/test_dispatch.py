@@ -10,15 +10,82 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.emulator.blocks import cross_check_blocks
 from repro.emulator.dispatch import BINDERS, DispatchDivergence, bind, cross_check
 from repro.emulator.machine import DISPATCH_ENV, Machine, default_dispatch
+from repro.isa.assembler import TEXT_BASE, assemble
 from repro.harness.errors import EmulatorError, IllegalInstruction
-from repro.isa.assembler import assemble
 from repro.isa.instructions import Instruction
 from repro.workloads import get_workload
 
-from tests.test_differential import straight_line_program
+from tests.test_differential import REGS, straight_line_program
+
+_R_OPS = ("addu", "subu", "and", "or", "xor", "slt", "sltu")
+_I_OPS = ("addiu", "andi", "ori", "xori", "slti")
+
+
+@st.composite
+def block_shaped_program(draw):
+    """Source text shaped like what the blocks tier compiles.
+
+    Tight counted loops (backward branches — superblock unrolling),
+    forward branches (side exits), blocks of mixed length, contiguous
+    and scattered memory traffic, stores adjacent to the text segment
+    (both interpreters pre-decode, so they must agree), and syscalls
+    landing mid-block (fallback path).
+    """
+    lines = ["main:"]
+    for reg in REGS[:4]:
+        lines.append(f" li {reg}, {draw(st.integers(0, 0xFFFF))}")
+    lines.append(" addiu $s0, $sp, -256")  # memory scratch base
+    n_loops = draw(st.integers(1, 3))
+    for loop in range(n_loops):
+        iters = draw(st.integers(1, 10))
+        body_len = draw(st.integers(1, 12))  # mixed block lengths
+        lines.append(f" li $s1, {iters}")
+        lines.append(f"loop{loop}:")
+        for _ in range(body_len):
+            kind = draw(st.sampled_from(["r", "i", "mem", "memrun"]))
+            rd = draw(st.sampled_from(REGS))
+            rs = draw(st.sampled_from(REGS))
+            if kind == "r":
+                op = draw(st.sampled_from(_R_OPS))
+                rt = draw(st.sampled_from(REGS))
+                lines.append(f" {op} {rd}, {rs}, {rt}")
+            elif kind == "i":
+                op = draw(st.sampled_from(_I_OPS))
+                imm = draw(st.integers(0, 0x7FFF))
+                lines.append(f" {op} {rd}, {rs}, {imm}")
+            elif kind == "mem":
+                off = 4 * draw(st.integers(0, 60))
+                if draw(st.booleans()):
+                    lines.append(f" sw {rs}, {off}($s0)")
+                else:
+                    lines.append(f" lw {rd}, {off}($s0)")
+            else:  # contiguous same-base run: exercises lw/sw batching
+                op = draw(st.sampled_from(["sw", "lw"]))
+                start = 4 * draw(st.integers(0, 32))
+                for i in range(draw(st.integers(4, 6))):
+                    reg = REGS[(draw(st.integers(0, 7)) + i) % len(REGS)]
+                    lines.append(f" {op} {reg}, {start + 4 * i}($s0)")
+        if draw(st.booleans()):  # forward branch: cold side exit
+            rt = draw(st.sampled_from(REGS))
+            lines.append(f" beq {rt}, {rt}, skip{loop}")
+            lines.append(" addiu $t0, $t0, 1")  # dead under the always-taken beq
+            lines.append(f"skip{loop}:")
+        if draw(st.booleans()):  # syscall mid-stream: block split + fallback
+            lines.append(" move $a0, $s1")
+            lines.append(" li $v0, 1")
+            lines.append(" syscall")
+        if draw(st.booleans()):  # store adjacent to (into) the text segment
+            lines.append(f" li $s2, {TEXT_BASE - 8}")
+            lines.append(f" sw $s1, {draw(st.sampled_from([0, 4, 8, 12]))}($s2)")
+        lines.append(" addiu $s1, $s1, -1")
+        lines.append(f" bgtz $s1, loop{loop}")
+    lines.append(" halt")
+    return "\n".join(lines) + "\n"
 
 
 @given(straight_line_program())
@@ -26,6 +93,30 @@ from tests.test_differential import straight_line_program
 def test_random_programs_cross_check(case):
     source, _ops = case
     cross_check(assemble(source), max_steps=10_000)
+
+
+@given(block_shaped_program())
+@settings(max_examples=25, deadline=None)
+def test_block_shaped_programs_blocks_lockstep(source):
+    """Blocks tier vs reference, record-by-record, on loopy programs."""
+    cross_check_blocks(assemble(source), max_steps=20_000)
+
+
+@given(block_shaped_program())
+@settings(max_examples=15, deadline=None)
+def test_block_shaped_programs_three_way_parity(source):
+    """reference x fast x blocks agree on trace, state, and output."""
+    program = assemble(source)
+    ref = Machine(program, dispatch="reference")
+    fast = Machine(program, dispatch="fast")
+    blk = Machine(program, dispatch="blocks", block_threshold=0)
+    r_ref = list(ref.trace(20_000))
+    r_fast = list(fast.trace(20_000))
+    r_blk = list(blk.trace(20_000))
+    assert r_ref == r_fast == r_blk
+    assert ref.regs == fast.regs == blk.regs
+    assert ref.pc == fast.pc == blk.pc
+    assert ref.output == fast.output == blk.output
 
 
 @pytest.mark.parametrize("name", ["li", "vortex"])

@@ -260,6 +260,21 @@ def test_session_aggregates_runs_into_bench_records():
     assert session.registry.get("emulate.instructions").value == 5000
 
 
+def test_bench_records_carry_mode_fields():
+    from repro.timing.stats import SimStats
+
+    session = ObsSession()
+    session.note_collection("li", 100, 0.1)
+    stats = SimStats(config_name="baseline", instructions=10, cycles=20)
+    session.record_run(stats, 0.1, timing_mode="fast", dispatch_mode="blocks")
+    rec = session.bench_records()["li"]
+    assert rec["timing_mode"] == "fast"
+    assert rec["dispatch_mode"] == "blocks"
+    # A second run under a different dispatch mode marks it mixed.
+    session.record_run(stats, 0.1, timing_mode="fast", dispatch_mode="fast")
+    assert session.bench_records()["li"]["dispatch_mode"] == "mixed"
+
+
 def test_session_heartbeat_emits_progress_lines():
     import io
 
