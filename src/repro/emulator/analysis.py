@@ -4,14 +4,19 @@ Workload-validation helpers used to check that the synthetic kernels
 behave like their SPEC namesakes: instruction-mix breakdowns, register
 dependence distances (how far apart producer and consumer are — what
 determines how much a pipelined EX hurts), working-set estimation, and
-branch-behaviour summaries.
+branch-behaviour summaries.  Also the static call graph the guest
+profiler keys flamegraphs on: function entries recovered from ``jal``
+targets and program symbols, with deterministic entry→function paths
+for collapsed-stack output.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from bisect import bisect_right
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
+from repro.isa.encoding import EncodingError, decode
 from repro.isa.opclass import OpClass, op_class
 from repro.isa.registers import NUM_EXT_REGS
 
@@ -119,6 +124,131 @@ def profile_trace(trace, distance_cap: int = 64) -> TraceProfile:
     profile.data_lines = len(data_lines)
     profile.text_lines = len(text_lines)
     return profile
+
+
+# ---------------------------------------------------------- call graph
+
+@dataclass
+class StaticCallGraph:
+    """Function partition of a program's text plus its static call edges.
+
+    Function entries are the program entry, the text base (covering any
+    startup stub before ``main``), and every in-text ``jal`` target;
+    each PC belongs to the nearest entry at or below it.  Names come
+    from the program's symbol table when a label sits exactly on the
+    entry, else a synthetic ``fn_0x...``.  Edges connect the function
+    containing each ``jal`` site to its target, which is what the guest
+    profiler's collapsed-stack flamegraph output walks.
+    """
+
+    base: int
+    limit: int                      # one past the last text byte
+    entries: list[int]              # sorted function entry PCs
+    names: dict[int, str]           # entry PC → function name
+    calls: dict[int, tuple[int, ...]]  # entry PC → sorted callee entries
+    root: int                       # entry PC of the program-entry function
+    _stacks: dict[int, tuple[str, ...]] = field(default_factory=dict)
+
+    def function_of(self, pc: int) -> int | None:
+        """Entry PC of the function containing *pc* (None if outside text)."""
+        if not self.base <= pc < self.limit:
+            return None
+        i = bisect_right(self.entries, pc)
+        return self.entries[i - 1] if i else None
+
+    def name_of(self, pc: int) -> str:
+        """Function name for any text PC (``?`` outside the text segment)."""
+        entry = self.function_of(pc)
+        return "?" if entry is None else self.names[entry]
+
+    def stack_of(self, entry: int) -> tuple[str, ...]:
+        """Deterministic root→function name path for one function entry.
+
+        The shortest static call path from the root, ties broken by
+        entry order (BFS over sorted callee lists); functions the
+        static graph cannot reach from the root stand alone.
+        """
+        if not self._stacks:
+            self._stacks[self.root] = (self.names[self.root],)
+            queue = deque([self.root])
+            while queue:
+                caller = queue.popleft()
+                path = self._stacks[caller]
+                for callee in self.calls.get(caller, ()):
+                    if callee not in self._stacks:
+                        self._stacks[callee] = path + (self.names[callee],)
+                        queue.append(callee)
+        stack = self._stacks.get(entry)
+        if stack is None:
+            stack = self._stacks[entry] = (self.names[entry],)
+        return stack
+
+
+def static_call_graph(program) -> StaticCallGraph:
+    """Recover the static call graph of *program* (see :class:`StaticCallGraph`)."""
+    base = program.text_base
+    size = len(program.text)
+    limit = base + 4 * size
+    entry_set = {base}
+    if base <= program.entry < limit:
+        entry_set.add(program.entry)
+    call_sites: list[tuple[int, int]] = []
+    for i, word in enumerate(program.text):
+        try:
+            inst = decode(word)
+        except EncodingError:
+            continue
+        if inst.mnemonic == "jal":
+            pc = base + 4 * i
+            target = ((pc + 4) & 0xF000_0000) | (inst.target << 2)
+            if base <= target < limit:
+                entry_set.add(target)
+                call_sites.append((pc, target))
+    labels: dict[int, str] = {}
+    for name in sorted(program.symbols):
+        labels.setdefault(program.symbols[name], name)
+    entries = sorted(entry_set)
+    names = {e: labels.get(e, f"fn_{e:#x}") for e in entries}
+    calls: dict[int, set[int]] = {e: set() for e in entries}
+    for pc, target in call_sites:
+        i = bisect_right(entries, pc)
+        caller = entries[i - 1]
+        if target != caller:
+            calls[caller].add(target)
+    root_i = bisect_right(entries, program.entry if base <= program.entry < limit else base)
+    return StaticCallGraph(
+        base=base,
+        limit=limit,
+        entries=entries,
+        names=names,
+        calls={e: tuple(sorted(c)) for e, c in calls.items()},
+        root=entries[root_i - 1],
+    )
+
+
+def collapsed_stacks(graph: StaticCallGraph, counts: dict[int, int]) -> dict[str, int]:
+    """Fold per-PC counts into collapsed-stack lines keyed on the call graph.
+
+    Returns ``{"main;compress;deflate": 12345, ...}`` — the
+    semicolon-separated format flamegraph.pl / speedscope consume.  PCs
+    outside the text segment (e.g. the profiler's synthetic shortfall
+    line) fold under a single ``?`` frame.
+    """
+    out: dict[str, int] = {}
+    for pc, count in counts.items():
+        entry = graph.function_of(pc)
+        key = "?" if entry is None else ";".join(graph.stack_of(entry))
+        out[key] = out.get(key, 0) + count
+    return out
+
+
+def write_collapsed_stacks(path, stacks: dict[str, int]) -> int:
+    """Write collapsed stacks one per line (sorted); returns line count."""
+    lines = [f"{key} {count}" for key, count in sorted(stacks.items())]
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
 
 
 def compare_profiles(a: TraceProfile, b: TraceProfile) -> str:

@@ -68,6 +68,7 @@ from repro.emulator.dispatch import (
 from repro.emulator.trace import TraceRecord
 from repro.isa.instructions import BRANCH_OPS
 from repro.isa.registers import FCC, FP_BASE, HI, LO
+from repro.obs.tracing import active_tracer
 
 _M = 0xFFFFFFFF
 
@@ -160,7 +161,23 @@ _STATS = {
     "block_insts": 0,
     "fallback_insts": 0,
     "replays": 0,
+    # JIT-tier telemetry (this PR): how the compiled tier behaved, not
+    # just how much it ran.
+    "side_exits": 0,       # compiled execs that left a superblock early
+    "cache_binds": 0,      # compile_block calls served by the code cache
+    "mem_run_sites": 0,    # batched lw/sw runs in compiled blocks (static)
+    "mem_run_words": 0,    # words covered by those runs (static)
 }
+
+#: Per-compile telemetry events (pc, shape, cost); bounded so a
+#: pathological workload cannot grow memory without bound.
+_COMPILE_EVENTS: list[dict] = []
+_COMPILE_EVENT_CAP = 4096
+
+#: Span lane for JIT compile instants in the Perfetto timeline — far
+#: from the low lane numbers the sweep orchestrator assigns to cells,
+#: so compile marks always render on their own track.
+JIT_LANE = 90
 
 
 def stats() -> dict:
@@ -168,9 +185,111 @@ def stats() -> dict:
     return dict(_STATS)
 
 
+def compile_events() -> list[dict]:
+    """Per-compile telemetry events recorded since the last reset."""
+    return [dict(e) for e in _COMPILE_EVENTS]
+
+
 def reset_stats() -> None:
     for key in _STATS:
         _STATS[key] = 0.0 if key == "compile_seconds" else 0
+    _COMPILE_EVENTS.clear()
+
+
+def publish_stats(registry) -> None:
+    """Export the engine counters as ``emu.blocks.*`` metrics."""
+    s = stats()
+    registry.counter("emu.blocks.compiled", help="blocks compiled").inc(s["blocks_compiled"])
+    registry.counter("emu.blocks.superblocks", help="superblocks among compiled").inc(
+        s["superblocks"]
+    )
+    registry.timer("emu.blocks.compile_wall", help="block compile wall time").add(
+        s["compile_seconds"]
+    )
+    registry.counter("emu.blocks.execs", help="compiled-block executions").inc(
+        s["block_execs"]
+    )
+    registry.counter("emu.blocks.insts", help="instructions retired in blocks").inc(
+        s["block_insts"]
+    )
+    registry.counter(
+        "emu.blocks.fallback_insts", help="instructions retired on fallback dispatch"
+    ).inc(s["fallback_insts"])
+    registry.counter("emu.blocks.replays", help="fault replays of compiled blocks").inc(
+        s["replays"]
+    )
+    registry.counter("emu.blocks.side_exits", help="early superblock exits").inc(
+        s["side_exits"]
+    )
+    registry.counter(
+        "emu.blocks.cache_binds", help="compiles served by the per-program code cache"
+    ).inc(s["cache_binds"])
+    registry.counter(
+        "emu.blocks.mem_run_sites", help="batched lw/sw runs in compiled blocks"
+    ).inc(s["mem_run_sites"])
+    registry.counter(
+        "emu.blocks.mem_run_words", help="words covered by batched lw/sw runs"
+    ).inc(s["mem_run_words"])
+    registry.gauge(
+        "emu.blocks.code_cache_programs", help="programs with live code caches"
+    ).set(len(_CODE_CACHE))
+    registry.gauge(
+        "emu.blocks.code_cache_entries", help="cached code objects (all programs)"
+    ).set(sum(len(c) for c in _CODE_CACHE.values()))
+
+
+def telemetry() -> dict | None:
+    """Manifest-ready "Compiler telemetry" block, or ``None``.
+
+    ``None`` when the blocks tier never compiled anything this process —
+    reports and manifests gate the section on data presence, so runs on
+    the other tiers render byte-identically to pre-telemetry builds.
+    """
+    if not _STATS["blocks_compiled"] and not _COMPILE_EVENTS:
+        return None
+    s = stats()
+    execs = s["block_execs"]
+    total_insts = s["block_insts"] + s["fallback_insts"]
+    return {
+        "stats": s,
+        "side_exit_rate": s["side_exits"] / execs if execs else 0.0,
+        "block_inst_fraction": s["block_insts"] / total_insts if total_insts else 0.0,
+        "code_cache": {
+            "programs": len(_CODE_CACHE),
+            "entries": sum(len(c) for c in _CODE_CACHE.values()),
+        },
+        "compile_events": compile_events(),
+    }
+
+
+def _note_compile(
+    pc: int, n_inst: int, superblock: bool, seconds: float, cache_hit: bool, variant: str
+) -> None:
+    """Record one compile/bind event and its Perfetto instant."""
+    if len(_COMPILE_EVENTS) < _COMPILE_EVENT_CAP:
+        _COMPILE_EVENTS.append(
+            {
+                "pc": pc,
+                "n_inst": n_inst,
+                "superblock": superblock,
+                "seconds": seconds,
+                "cache_hit": cache_hit,
+                "variant": variant,
+            }
+        )
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.mark(
+            f"jit.compile {pc:#x}",
+            category="jit",
+            lane=JIT_LANE,
+            pc=pc,
+            n_inst=n_inst,
+            superblock=superblock,
+            seconds=seconds,
+            cache_hit=cache_hit,
+            variant=variant,
+        )
 
 
 #: Per-program cache of compiled code objects, keyed ``id(program)``
@@ -241,6 +360,10 @@ class BlockEngine:
         self.insts = 0
         self.fallback = 0
         self.replays = 0
+        self.side_exits = 0
+        self.cache_binds = 0
+        self.mem_run_sites = 0
+        self.mem_run_words = 0
 
         size = len(self.decoded)
         initial = max(1, self.threshold)
@@ -358,6 +481,7 @@ class BlockEngine:
             t0 = time.perf_counter()
             code_cache = _program_code_cache(self.m.program)
             cached = code_cache.get(key, False)
+            from_code_cache = cached is not False
             if cached is False:
                 if index in self._extents:
                     block = self._extents[index]
@@ -367,22 +491,56 @@ class BlockEngine:
                     cached = None
                 else:
                     code, insts = self._codegen(block, trace)
-                    cached = (len(block.items), code, insts, block.superblock)
+                    sites, words = self._batch_shape(block.items)
+                    cached = (
+                        len(block.items), code, insts, block.superblock, sites, words
+                    )
                 code_cache[key] = cached
             if cached is None:
                 entry = None
+                superblock = False
             else:
-                n_inst, code, insts, superblock = cached
+                n_inst, code, insts, superblock, sites, words = cached
                 entry = (n_inst, self._bind(code, insts))
+                if from_code_cache:
+                    self.cache_binds += 1
                 if index not in self._counted:  # once per block, not per variant
                     self._counted.add(index)
                     self.compiled += 1
                     if superblock:
                         self.superblocks += 1
-            self.compile_seconds += time.perf_counter() - t0
+                    self.mem_run_sites += sites
+                    self.mem_run_words += words
+            seconds = time.perf_counter() - t0
+            self.compile_seconds += seconds
             self._compiled[key] = entry
+            if entry is not None:
+                _note_compile(
+                    pc=self.base + 4 * index,
+                    n_inst=entry[0],
+                    superblock=superblock,
+                    seconds=seconds,
+                    cache_hit=from_code_cache,
+                    variant="trace" if trace else "run",
+                )
         table = self.trace_table if trace else self.run_table
         table[index] = self._compiled[key]
+
+    def _batch_shape(self, items) -> tuple[int, int]:
+        """Static batching shape of a block: (mem-run sites, words covered)."""
+        sites = 0
+        words = 0
+        k = 0
+        n = len(items)
+        while k < n:
+            run = self._mem_run(items, k)
+            if run >= BATCH_MIN:
+                sites += 1
+                words += run
+                k += run
+            else:
+                k += 1
+        return sites, words
 
     def _mem_run(self, items, k: int) -> int:
         """Length of the batchable lw/sw run starting at position *k*."""
@@ -929,6 +1087,10 @@ class BlockEngine:
         _STATS["block_insts"] += self.insts
         _STATS["fallback_insts"] += self.fallback
         _STATS["replays"] += self.replays
+        _STATS["side_exits"] += self.side_exits
+        _STATS["cache_binds"] += self.cache_binds
+        _STATS["mem_run_sites"] += self.mem_run_sites
+        _STATS["mem_run_words"] += self.mem_run_words
         self.compiled = 0
         self.superblocks = 0
         self.compile_seconds = 0.0
@@ -936,6 +1098,10 @@ class BlockEngine:
         self.insts = 0
         self.fallback = 0
         self.replays = 0
+        self.side_exits = 0
+        self.cache_binds = 0
+        self.mem_run_sites = 0
+        self.mem_run_words = 0
 
 
 # ------------------------------------------------------------- cross-check
@@ -977,11 +1143,15 @@ def cross_check_blocks(program, max_steps: int = 100_000, threshold: int = 0):
 
 __all__ = [
     "BlockEngine",
+    "compile_events",
     "cross_check_blocks",
     "default_block_threshold",
+    "publish_stats",
     "reset_stats",
     "stats",
+    "telemetry",
     "DEFAULT_THRESHOLD",
+    "JIT_LANE",
     "MAX_BLOCK_LEN",
     "MIN_BLOCK_LEN",
     "THRESHOLD_ENV",

@@ -206,6 +206,22 @@ def _parser() -> argparse.ArgumentParser:
         help="print a progress line at most every SECONDS during long sweeps",
     )
     obs.add_argument(
+        "--guest-profile", nargs="?", const="exact", default=None,
+        choices=("exact", "sample"), metavar="MODE",
+        help="profile guest code: per-PC retired counts from the emulator "
+             "tiers plus per-PC CPI stacks from the timing layer "
+             "(MODE: exact [default] or sample)",
+    )
+    obs.add_argument(
+        "--guest-profile-out", default=None, metavar="FILE",
+        help="write the guest profile as JSON (implies --guest-profile; "
+             "feed to repro-profile for reports and flamegraphs)",
+    )
+    obs.add_argument(
+        "--guest-profile-period", type=int, default=None, metavar="N",
+        help="sampling period for --guest-profile sample (default 1024)",
+    )
+    obs.add_argument(
         "--bench-dir", default=".benchmarks", metavar="DIR",
         help="directory for BENCH_<run>.json perf snapshots (default .benchmarks)",
     )
@@ -272,17 +288,34 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.tracing import start_tracing
 
         start_tracing()
+    guestprof_on = args.guest_profile is not None or bool(args.guest_profile_out)
+    if guestprof_on:
+        from repro.obs.guestprof import start_guest_profile
+
+        start_guest_profile(
+            mode=args.guest_profile or "exact", period=args.guest_profile_period
+        )
     try:
         return _run_experiments(args, n, prof, benches, argv)
     finally:
-        # Obs outputs first: the manifest reads the still-active tracer's
-        # stats; then the tracer is ended and its spans flushed to disk.
+        # Guest profile first (the obs manifest summarizes it), then obs
+        # outputs while the tracer is still active (the manifest reads
+        # its stats), then the tracer's spans flush to disk.
+        collector = None
+        if guestprof_on:
+            from repro.obs.guestprof import end_guest_profile
+
+            collector = end_guest_profile()
+            try:
+                _write_guest_profile(args, collector)
+            except Exception as exc:  # never mask the experiment's own status
+                print(f"guest profile output failed: {exc}", file=sys.stderr)
         if obs_on:
             from repro.obs.session import end_session
 
             session = end_session()
             try:
-                _write_obs_outputs(args, session, argv)
+                _write_obs_outputs(args, session, argv, collector)
             except Exception as exc:  # never mask the experiment's own status
                 print(f"observability output failed: {exc}", file=sys.stderr)
         if tracing_on:
@@ -295,18 +328,66 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"tracing output failed: {exc}", file=sys.stderr)
 
 
-def _write_obs_outputs(args, session, argv) -> None:
+def _guest_profile_summary(collector) -> dict | None:
+    """Manifest block summarizing an ended guest-profile collector."""
+    if collector is None:
+        return None
+    return {
+        "mode": collector.mode,
+        "period": collector.period,
+        "benchmarks": {
+            name: {
+                "retired": prof.retired,
+                "sampled": prof.sampled,
+                "cycles_total": prof.cycles_total,
+                "pcs": len(prof.counts),
+            }
+            for name, prof in sorted(collector.benchmarks.items())
+        },
+    }
+
+
+def _write_guest_profile(args, collector) -> None:
+    """Persist the guest profile (``--guest-profile-out``)."""
+    if collector is None:
+        return
+    if args.guest_profile_out:
+        from repro.obs.guestprof import write_profile
+
+        out = Path(args.guest_profile_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        write_profile(out, collector)
+        print(
+            f"guest profile written to {out} (render with repro-profile)",
+            file=sys.stderr,
+        )
+    else:
+        retired = sum(p.retired for p in collector.benchmarks.values())
+        print(
+            f"guest profile: {len(collector.benchmarks)} benchmark(s), "
+            f"{retired} retirements profiled "
+            "(use --guest-profile-out FILE to save)",
+            file=sys.stderr,
+        )
+
+
+def _write_obs_outputs(args, session, argv, collector=None) -> None:
     """Flush the session's telemetry: profile report, metrics dump,
     event trace (JSONL + Perfetto), and the BENCH_<run> perf snapshot."""
     import time
 
-    from repro.emulator.blocks import stats as block_stats
+    from repro.emulator import blocks as blocks_mod
     from repro.experiments.supervisor import supervisor_stats
     from repro.harness.atomicio import atomic_write_text
     from repro.obs.manifest import build_manifest, write_bench_snapshot
     from repro.obs.tracing import active_tracer
     from repro.timing.fastpath import default_timing_mode
 
+    compiler = blocks_mod.telemetry()
+    if compiler is not None:
+        # The blocks tier ran: export its counters as emu.blocks.*
+        # metrics alongside the manifest's compiler-telemetry section.
+        blocks_mod.publish_stats(session.registry)
     manifest = build_manifest(
         config={
             "experiment": args.experiment,
@@ -321,10 +402,13 @@ def _write_obs_outputs(args, session, argv) -> None:
             "trace_cache": trace_cache.stats(),
             "jobs": args.jobs,
             "dispatch": default_dispatch(),
-            "blocks": block_stats() if default_dispatch() == "blocks" else None,
+            "dispatch_tiers": session.dispatch_tier_stats() or None,
+            "blocks": blocks_mod.stats() if default_dispatch() == "blocks" else None,
+            "compiler": compiler,
             "timing": default_timing_mode(),
             "supervisor": supervisor_stats(),
             "tracing": active_tracer().stats() if active_tracer() is not None else None,
+            "guest_profile": _guest_profile_summary(collector),
         },
     )
     if args.profile:

@@ -211,7 +211,15 @@ def collect_parallel(
             if result.cache_hits and not result.cache_misses:
                 session.note_cache_hit(result.name, len(records), result.seconds)
             else:
-                session.note_collection(result.name, len(records), result.seconds)
+                # Workers re-apply the parent's dispatch override
+                # (apply_worker_state), so the parent's default names
+                # the tier that actually emulated the trace.
+                from repro.emulator.machine import default_dispatch
+
+                session.note_collection(
+                    result.name, len(records), result.seconds,
+                    dispatch_mode=default_dispatch(),
+                )
         surviving.append(result.name)
     return surviving, failures, degraded
 

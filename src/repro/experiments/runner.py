@@ -19,9 +19,11 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.config import MachineConfig
+from repro.emulator.machine import default_dispatch
 from repro.emulator.trace import TraceRecord
 from repro.experiments import trace_cache
 from repro.harness.watchdog import Watchdog
+from repro.obs.guestprof import active_collector, profile_from_records
 from repro.obs.session import active_session
 from repro.obs.tracing import active_tracer
 from repro.timing.simulator import simulate
@@ -75,6 +77,13 @@ def budget_override(name: str) -> int | None:
 def _collect(
     name: str, max_steps: int, iters: int | None, skip: int | None, profile: str
 ) -> tuple[TraceRecord, ...]:
+    gp = active_collector()
+    if gp is not None:
+        # Route machine-loop counts (cold) / record replays (cache hit)
+        # at this benchmark's bucket.  Preloaded traces are NOT counted
+        # here: the collecting worker already profiled them and shipped
+        # its collector in the reply aux.
+        gp.begin_benchmark(name)
     preloaded = _preloaded.get((name, max_steps, iters, skip, profile))
     if preloaded is not None:
         return preloaded
@@ -91,6 +100,8 @@ def _collect(
         w0 = time.time()
         cached = trace_cache.load(name, key)
         if cached is not None:
+            if gp is not None:
+                profile_from_records(cached, gp)
             if session is not None:
                 session.note_cache_hit(name, len(cached), time.perf_counter() - t0)
             if tracer is not None:
@@ -113,7 +124,7 @@ def _collect(
     )
     seconds = time.perf_counter() - t0
     if session is not None:
-        session.note_collection(name, len(trace), seconds)
+        session.note_collection(name, len(trace), seconds, dispatch_mode=default_dispatch())
     if tracer is not None:
         tracer.record(
             f"emulate.{name}", category="emulate",
@@ -146,6 +157,12 @@ def collect_trace(
         # Keep the benchmark context current even when the trace is a
         # cache hit, so subsequent simulate() runs attribute correctly.
         session.current_benchmark = name
+    gp = active_collector()
+    if gp is not None:
+        # Same for the guest profiler: timing cycles attributed by the
+        # simulate() that follows must land in this benchmark's bucket
+        # even when the trace itself is an in-memory cache hit.
+        gp.begin_benchmark(name)
     return _collect(name, max_steps, iters, skip, profile)
 
 

@@ -49,7 +49,7 @@ from multiprocessing.sharedctypes import RawValue
 from pathlib import Path
 
 from repro.experiments import trace_cache
-from repro.obs import tracing
+from repro.obs import guestprof, tracing
 from repro.experiments.journal import (
     DONE,
     FAILED,
@@ -249,6 +249,7 @@ def current_worker_state() -> tuple:
     from repro.timing.fastpath import timing_mode_override
 
     enabled = trace_cache.enabled()
+    gp = guestprof.active_collector()
     return (
         runner.wall_timeout(),
         dict(runner._budget_overrides),
@@ -256,6 +257,7 @@ def current_worker_state() -> tuple:
         enabled,
         timing_mode_override(),
         dispatch_mode_override(),
+        (gp.mode, gp.period) if gp is not None else None,
     )
 
 
@@ -266,6 +268,7 @@ def apply_worker_state(
     cache_enabled,
     timing_mode=None,
     dispatch_mode=None,
+    guest_profile=None,
 ) -> None:
     """Re-apply parent-process module state inside a fresh worker.
 
@@ -287,6 +290,22 @@ def apply_worker_state(
         from repro.emulator.machine import set_dispatch_mode
 
         set_dispatch_mode(dispatch_mode)
+    if guest_profile is not None:
+        # (mode, period) snapshot of the parent's collector: the worker
+        # runs its own, drained into every reply's aux for the
+        # orchestrator to merge (commutative per-PC sums).
+        guestprof.start_guest_profile(mode=guest_profile[0], period=guest_profile[1])
+
+
+def _drain_aux(tracer):
+    """Build one reply's aux payload: tracer spans plus the worker's
+    drained guest profile (shipped even when tracing is off)."""
+    aux = tracer.drain() if tracer is not None else None
+    gp = guestprof.active_collector()
+    if gp is not None and gp.benchmarks:
+        aux = dict(aux) if isinstance(aux, dict) else {}
+        aux["guestprof"] = gp.drain()
+    return aux
 
 
 def _resolve(fn_name: str):
@@ -359,12 +378,12 @@ def _worker_main(
         except Exception as exc:
             if task_span is not None:
                 tracer.finish(task_span, status=tracing.ERROR, error=type(exc).__name__)
-            aux = tracer.drain() if tracer is not None else None
+            aux = _drain_aux(tracer)
             reply = ("error", task_id, attempt, type(exc).__name__, str(exc), aux)
         else:
             if task_span is not None:
                 tracer.finish(task_span)
-            aux = tracer.drain() if tracer is not None else None
+            aux = _drain_aux(tracer)
             blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(blob).hexdigest()
             if fault == "corrupt":
@@ -633,6 +652,10 @@ class SupervisedPool:
         aux = msg[5] if len(msg) > 5 else None
         if self.tracer is not None:
             self.tracer.ingest(aux)
+        if isinstance(aux, dict) and aux.get("guestprof") is not None:
+            gp = guestprof.active_collector()
+            if gp is not None:
+                gp.ingest(aux["guestprof"])
         if kind == "error":
             error, message = msg[3], msg[4]
             if self.tracer is not None and span is not None:

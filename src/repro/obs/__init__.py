@@ -58,12 +58,23 @@ from repro.obs.registry import (
     validate_metrics_dump,
 )
 from repro.obs.session import ObsSession, active_session, end_session, start_session
+from repro.obs.guestprof import (
+    GuestProfileCollector,
+    active_collector,
+    end_guest_profile,
+    load_profile,
+    start_guest_profile,
+    suspended_guest_profile,
+    validate_profile,
+    write_profile,
+)
 
 __all__ = [
     "Counter",
     "CycleEvent",
     "EventTrace",
     "Gauge",
+    "GuestProfileCollector",
     "Histogram",
     "MetricsRegistry",
     "ObsSession",
@@ -71,25 +82,32 @@ __all__ = [
     "Span",
     "Timer",
     "Tracer",
+    "active_collector",
     "active_session",
     "active_tracer",
     "build_manifest",
+    "end_guest_profile",
     "end_session",
     "end_tracing",
     "load_bench_snapshot",
+    "load_profile",
     "merge_chrome_traces",
     "spans_to_chrome_trace",
+    "start_guest_profile",
     "start_session",
     "start_tracing",
+    "suspended_guest_profile",
     "validate_bench_snapshot",
     "validate_event",
     "validate_jsonl_file",
     "validate_manifest",
     "validate_metrics_dump",
+    "validate_profile",
     "validate_span",
     "validate_spans_file",
     "write_bench_snapshot",
     "write_chrome_trace",
+    "write_profile",
     "write_jsonl",
     "write_span_chrome_trace",
     "write_spans_jsonl",

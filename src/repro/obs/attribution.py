@@ -139,6 +139,29 @@ def attribute_delta(stats, delta: int, claims: tuple[int, ...]) -> None:
         stats.cpi_base += rem
 
 
+def split_claims(delta: int, claims: tuple[int, ...]) -> list[int]:
+    """The :func:`attribute_delta` waterfall, returned instead of folded.
+
+    Splits one commit-to-commit *delta* across *claims* (non-base
+    amounts in :data:`CPI_COMPONENTS` order) with the identical clamp
+    semantics and returns the per-component amounts as a list in
+    :data:`COMPONENT_KEYS` order, base last.  Used by the guest
+    profiler's per-PC CPI stacks, which must decompose the same cycles
+    the ``SimStats`` stack does.
+    """
+    parts = [0] * len(CPI_COMPONENTS)
+    rem = delta
+    for i, claim in enumerate(claims):
+        if claim <= 0 or rem <= 0:
+            continue
+        take = claim if claim < rem else rem
+        parts[i] = take
+        rem -= take
+    if rem > 0:
+        parts[-1] = rem
+    return parts
+
+
 @dataclass
 class CPIStack:
     """One run's cycle decomposition, with the exact-sum invariant."""
@@ -326,5 +349,6 @@ __all__ = [
     "STAT_FIELDS",
     "attribute_delta",
     "render_stacks",
+    "split_claims",
     "stack_bar",
 ]

@@ -265,7 +265,9 @@ def merge_chrome_traces(streams: dict[str, Iterable[CycleEvent]], lanes: int = 1
 def write_chrome_trace(events: Iterable[CycleEvent], path: str | Path, lanes: int = 16) -> int:
     """Write a Perfetto-loadable JSON trace; returns the slice count."""
     payload = to_chrome_trace(events, lanes=lanes)
-    Path(path).write_text(json.dumps(payload))
+    # sort_keys: byte-stable output so trace diffs and golden files only
+    # change when the events do.
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
     return len(payload["traceEvents"])
 
 

@@ -63,13 +63,19 @@ class ObsSession:
         self.current_benchmark: str | None = None
         self.collections = 0
         self.cache_hits = 0
+        #: dispatch tier → accumulated {"instructions", "wall_seconds"}
+        #: across this session's trace collections, so manifests can
+        #: report per-tier emulation throughput, not just the aggregate.
+        self.dispatch_tiers: dict[str, dict[str, float]] = {}
         self.supervisor: dict | None = None
         self._t0 = time.monotonic()
         self._last_beat = self._t0
 
     # ------------------------------------------------------------- hooks
 
-    def note_collection(self, benchmark: str, records: int, seconds: float) -> None:
+    def note_collection(
+        self, benchmark: str, records: int, seconds: float, dispatch_mode: str = ""
+    ) -> None:
         """Called after one emulator trace collection."""
         self.current_benchmark = benchmark
         self.collections += 1
@@ -77,6 +83,20 @@ class ObsSession:
         self.registry.counter("emulate.instructions", help="emulated trace records").inc(records)
         self.registry.counter("emulate.collections", help="trace collections").inc()
         self.registry.timer("emulate.wall", help="emulator wall time").add(seconds)
+        if dispatch_mode:
+            tier = self.dispatch_tiers.setdefault(
+                dispatch_mode, {"instructions": 0, "wall_seconds": 0.0}
+            )
+            tier["instructions"] += records
+            tier["wall_seconds"] += seconds
+            self.registry.counter(
+                f"emulate.{dispatch_mode}.instructions",
+                help=f"trace records emulated by the {dispatch_mode} tier",
+            ).inc(records)
+            self.registry.timer(
+                f"emulate.{dispatch_mode}.wall",
+                help=f"{dispatch_mode}-tier emulator wall time",
+            ).add(seconds)
         self.heartbeat(f"collect.{benchmark}")
 
     def note_cache_hit(self, benchmark: str, records: int, seconds: float) -> None:
@@ -165,6 +185,19 @@ class ObsSession:
     @property
     def elapsed(self) -> float:
         return time.monotonic() - self._t0
+
+    def dispatch_tier_stats(self) -> dict[str, dict]:
+        """Per-dispatch-tier emulation throughput (manifest block)."""
+        out: dict[str, dict] = {}
+        for tier in sorted(self.dispatch_tiers):
+            rec = self.dispatch_tiers[tier]
+            wall = rec["wall_seconds"]
+            out[tier] = {
+                "instructions": int(rec["instructions"]),
+                "wall_seconds": wall,
+                "instructions_per_second": rec["instructions"] / wall if wall > 0 else 0.0,
+            }
+        return out
 
     def bench_records(self) -> dict[str, dict]:
         """Per-benchmark perf records for :func:`write_bench_snapshot`."""

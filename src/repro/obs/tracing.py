@@ -556,7 +556,9 @@ def spans_to_chrome_trace(spans: Iterable[Span]) -> dict:
 def write_span_chrome_trace(spans: Iterable[Span], path: str | Path) -> int:
     """Write a Perfetto-loadable span timeline; returns the event count."""
     payload = spans_to_chrome_trace(spans)
-    Path(path).write_text(json.dumps(payload))
+    # sort_keys: byte-stable output so trace diffs and golden files only
+    # change when the spans do.
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
     return len(payload["traceEvents"])
 
 

@@ -49,6 +49,8 @@ from repro.obs.events import (
     EventTrace,
 )
 from repro.obs.attribution import attribute_delta
+from repro.obs.guestprof import SHORTFALL_PC, profile_delta
+from repro.obs.guestprof import active_collector as _guest_collector
 from repro.timing.stats import SimStats
 
 #: Environment toggle, mirroring ``REPRO_DISPATCH``.
@@ -660,6 +662,8 @@ def run_fast(sim, trace, max_instructions=None, warmup=0, watchdog=None):
     cfg = sim.config
     stats = sim.stats
     ev = sim.events
+    gp = _guest_collector()
+    prof: dict | None = {} if gp is not None else None
     obs_on = sim._obs_enabled
     emit_text = sim._emit_text
     plans = sim._plans
@@ -694,6 +698,8 @@ def run_fast(sim, trace, max_instructions=None, warmup=0, watchdog=None):
             warm_commit = sim.last_commit
             stats = SimStats(config_name=cfg.name)
             sim.stats = stats
+            if prof is not None:
+                prof.clear()
         sim.seq = seq = sim.seq + 1
         sim._claim_branch = sim._claim_ruu = sim._claim_lsq = 0
         sim._claim_lsd = sim._claim_ptm = sim._claim_mem = sim._claim_slice = 0
@@ -744,6 +750,10 @@ def run_fast(sim, trace, max_instructions=None, warmup=0, watchdog=None):
                 attribute_delta(stats, delta, (cb, cr, cq, cd, cp, cm, cs))
             else:
                 stats.cpi_base += delta
+            if prof is not None:
+                profile_delta(
+                    prof, record.pc, delta, (cb, cr, cq, cd, cp, cm, cs)
+                )
         sim.last_commit = commit
         if sim.first_commit is None:
             sim.first_commit = commit
@@ -807,11 +817,17 @@ def run_fast(sim, trace, max_instructions=None, warmup=0, watchdog=None):
             + stats.cpi_memory + stats.cpi_slice_wait
         )
         if attributed < stats.cycles:
+            if prof is not None:
+                profile_delta(prof, SHORTFALL_PC, stats.cycles - attributed, ())
             stats.cpi_base += stats.cycles - attributed
     else:
         stats.cpi_base = stats.cpi_branch_recovery = stats.cpi_ruu_stall = 0
         stats.cpi_lsq_stall = stats.cpi_lsd_wait = stats.cpi_ptm_replay = 0
         stats.cpi_memory = stats.cpi_slice_wait = 0
+        if prof is not None:
+            prof.clear()
+    if gp is not None:
+        gp.add_cycles(prof, stats.cycles)
     return stats
 
 

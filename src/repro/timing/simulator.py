@@ -36,6 +36,8 @@ from repro.isa.registers import HI, LO, NUM_EXT_REGS
 from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.partial_tag import partial_tag_lookup
 from repro.obs.attribution import attribute_delta
+from repro.obs.guestprof import SHORTFALL_PC, profile_delta
+from repro.obs.guestprof import active_collector as _guest_collector
 from repro.obs.events import (
     COMMIT,
     CPI_SAMPLE,
@@ -529,6 +531,10 @@ class TimingSimulator:
         stats = self.stats
         S = self.num_slices
         ev = self.events  # hoisted: None when observability is off
+        gp = _guest_collector()
+        # Per-PC CPI attribution (guest profiler): pc → component cycles,
+        # filled from the same commit deltas the SimStats stack sees.
+        prof: dict | None = {} if gp is not None else None
         count = 0
         warm_commit = 0
         if watchdog is not None:
@@ -543,6 +549,8 @@ class TimingSimulator:
                 warm_commit = self.last_commit
                 fresh = SimStats(config_name=cfg.name)
                 self.stats = stats = fresh
+                if prof is not None:
+                    prof.clear()
             self.seq += 1
             # CPI attribution: fresh stall claims for this instruction.
             self._claim_branch = self._claim_ruu = self._claim_lsq = 0
@@ -686,6 +694,17 @@ class TimingSimulator:
                     )
                 else:
                     stats.cpi_base += delta
+                if prof is not None:
+                    profile_delta(
+                        prof,
+                        record.pc,
+                        delta,
+                        (
+                            self._claim_branch, self._claim_ruu, self._claim_lsq,
+                            self._claim_lsd, self._claim_ptm, self._claim_mem,
+                            self._claim_slice,
+                        ),
+                    )
             self.last_commit = commit
             if self.first_commit is None:
                 self.first_commit = commit
@@ -756,6 +775,10 @@ class TimingSimulator:
                 + stats.cpi_memory + stats.cpi_slice_wait
             )
             if attributed < stats.cycles:
+                if prof is not None:
+                    # Same correction, charged to the synthetic shortfall
+                    # line so the per-PC stacks keep the exact-sum invariant.
+                    profile_delta(prof, SHORTFALL_PC, stats.cycles - attributed, ())
                 stats.cpi_base += stats.cycles - attributed
         else:
             # Empty measured window (e.g. trace shorter than warmup):
@@ -763,6 +786,10 @@ class TimingSimulator:
             stats.cpi_base = stats.cpi_branch_recovery = stats.cpi_ruu_stall = 0
             stats.cpi_lsq_stall = stats.cpi_lsd_wait = stats.cpi_ptm_replay = 0
             stats.cpi_memory = stats.cpi_slice_wait = 0
+            if prof is not None:
+                prof.clear()
+        if gp is not None:
+            gp.add_cycles(prof, stats.cycles)
         return stats
 
     # ----------------------------------------------------------- sub-models

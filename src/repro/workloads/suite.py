@@ -129,11 +129,16 @@ class Workload:
         the skip fast-forward and the traced window together.
         """
         from repro.emulator.machine import Machine
+        from repro.obs.guestprof import suspended_guest_profile
 
         machine = Machine(self.build(iters, profile))
         if skip is None:
             skip = _skip_hint_cached(self.name, profile)
-        machine.run(skip, watchdog=watchdog)
+        # The fast-forward stays out of any active guest profile: the
+        # profile covers exactly the traced window, so a cold collection
+        # and a cache-hit replay count the same instructions.
+        with suspended_guest_profile():
+            machine.run(skip, watchdog=watchdog)
         yield from machine.trace(max_steps, watchdog=watchdog)
 
 
@@ -153,12 +158,16 @@ def _build_cached(name: str, iters: int, profile: str = "ref") -> Program:
 @lru_cache(maxsize=None)
 def _skip_hint_cached(name: str, profile: str = "ref") -> int:
     from repro.emulator.machine import Machine
+    from repro.obs.guestprof import suspended_guest_profile
 
     lengths = []
-    for iters in (1, 2):
-        machine = Machine(_build_cached(name, iters, profile))
-        machine.run(20_000_000)
-        lengths.append(machine.instret)
+    # Calibration runs are bookkeeping, not the measured window — keep
+    # them out of any active guest profile.
+    with suspended_guest_profile():
+        for iters in (1, 2):
+            machine = Machine(_build_cached(name, iters, profile))
+            machine.run(20_000_000)
+            lengths.append(machine.instret)
     init = max(0, 2 * lengths[0] - lengths[1])
     return init
 

@@ -11,6 +11,7 @@ import pytest
 from repro.emulator import blocks
 from repro.emulator.machine import Machine, set_dispatch_mode
 from repro.experiments import runner, supervisor, trace_cache
+from repro.obs import guestprof
 from repro.isa.assembler import assemble
 from repro.workloads import get_workload
 
@@ -39,6 +40,7 @@ def _isolate_runner_globals(monkeypatch):
     supervisor.reset_stats()
     set_dispatch_mode(None)
     blocks.reset_stats()
+    guestprof.end_guest_profile()
 
 
 @pytest.fixture(scope="session")

@@ -222,6 +222,44 @@ def test_cycle_event_streams_merge_onto_distinct_pids():
     assert len(slice_pids) == 2
 
 
+def test_cpi_sample_counter_track_round_trips_through_merge(tmp_path):
+    """Satellite check: ``cpi_sample`` events survive the multi-process
+    merge as per-pid ``"C"`` counter events with their component series
+    intact, and the written file is byte-deterministic (sorted keys)."""
+    from repro.obs.events import CPI_SAMPLE, write_chrome_trace
+
+    def stream(scale):
+        return [
+            CycleEvent(kind=CPI_SAMPLE, cycle=cycle, seq=0, pc=0,
+                       args={"base": scale * cycle, "memory": scale})
+            for cycle in (10, 20)
+        ]
+
+    merged = merge_chrome_traces({"worker-1": stream(1), "worker-2": stream(3)})
+    meta = {e["args"]["name"]: e["pid"] for e in merged["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"}
+    counters = [e for e in merged["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 4
+    assert all(e["name"] == "cpi_stack" for e in counters)
+    by_pid = {}
+    for e in counters:
+        by_pid.setdefault(e["pid"], []).append(e)
+    assert set(by_pid) == set(meta.values())  # one track per process row
+    w2 = by_pid[meta["worker-2"]]
+    assert [e["args"] for e in w2] == [
+        {"base": 30, "memory": 3}, {"base": 60, "memory": 3}
+    ]
+
+    path = tmp_path / "merged.json"
+    write_chrome_trace(stream(1) + stream(3), path)
+    first = path.read_text()
+    write_chrome_trace(stream(1) + stream(3), path)
+    assert path.read_text() == first
+    reloaded = json.loads(first)
+    assert [e for e in reloaded["traceEvents"] if e["ph"] == "C"]
+    assert '"args": {"base"' in first  # keys serialized sorted
+
+
 # ------------------------------------------------------- traced sweeps e2e
 
 def _completed_cell_spans(tracer):
