@@ -69,7 +69,39 @@ def parse_args(argv=None):
                    help="JSON verdict path (default <workdir>/chaos_report.json)")
     p.add_argument("--no-trace", action="store_true",
                    help="disable span tracing (skips the trace-merge checks)")
+    p.add_argument("--sample", action="store_true",
+                   help="run the sweep through the statistical-sampling engine; "
+                        "the byte-identity invariant then covers the CI columns")
+    p.add_argument("--sample-window", type=int, default=None,
+                   help="sampling: measured instructions per window")
+    p.add_argument("--sample-warmup", type=int, default=None,
+                   help="sampling: detailed warmup before each window")
+    p.add_argument("--sample-interval", type=int, default=None,
+                   help="sampling: systematic-sampling period")
+    p.add_argument("--sample-seed", type=int, default=None,
+                   help="sampling: window-placement + bootstrap seed")
     return p.parse_args(argv)
+
+
+def sampling_plan(args):
+    """The SamplingPlan the flags describe, or ``None`` without --sample."""
+    if not args.sample:
+        return None
+    import dataclasses
+
+    from repro.timing.sampling import SamplingPlan
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("window", args.sample_window),
+            ("warmup", args.sample_warmup),
+            ("interval", args.sample_interval),
+            ("seed", args.sample_seed),
+        )
+        if value is not None
+    }
+    return dataclasses.replace(SamplingPlan(), **overrides).validate()
 
 
 def sweep_argv(args, journal_flag: str, journal: Path,
@@ -84,6 +116,14 @@ def sweep_argv(args, journal_flag: str, journal: Path,
         "--backoff", "0.05",
         journal_flag, str(journal),
     ]
+    if args.sample:
+        argv += ["--sample"]
+        for flag, value in (("--sample-window", args.sample_window),
+                            ("--sample-warmup", args.sample_warmup),
+                            ("--sample-interval", args.sample_interval),
+                            ("--sample-seed", args.sample_seed)):
+            if value is not None:
+                argv += [flag, str(value)]
     if trace is not None:
         argv += ["--trace-spans", str(trace)]
     return argv
@@ -146,6 +186,7 @@ def clean_reference(args) -> str:
         max_steps=args.instructions,
         jobs=1,
         policy=None,
+        sampling=sampling_plan(args),
     )
     assert not result.failures, f"clean reference run failed: {result.failures}"
     return result.render() + "\n\n"

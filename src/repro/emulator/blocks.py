@@ -72,6 +72,11 @@ from repro.obs.tracing import active_tracer
 
 _M = 0xFFFFFFFF
 
+#: Fetch-line granularity of the warm variant's I-side touches (64-byte
+#: lines, matching the Table 2 L1I).  ``warm_instruction`` deduplicates
+#: by its own line size, so a mismatch only costs extra calls.
+_ILINE_SHIFT = 6
+
 #: Environment knob: executions of a leader before its block compiles.
 #: 0 compiles on first entry (what tests and cross_check use).
 THRESHOLD_ENV = "REPRO_BLOCKS_THRESHOLD"
@@ -369,13 +374,17 @@ class BlockEngine:
         initial = max(1, self.threshold)
         run_table: list = [None] * size
         trace_table: list = [None] * size
+        warm_table: list = [None] * size
         for idx in self._leaders():
             inst = self.decoded[idx]
             if inst is not None and inst.mnemonic not in _UNSUPPORTED:
                 run_table[idx] = initial
                 trace_table[idx] = initial
+                warm_table[idx] = initial
         self.run_table = run_table
         self.trace_table = trace_table
+        self.warm_table = warm_table
+        self.tables = {"run": run_table, "trace": trace_table, "warm": warm_table}
 
     # -------------------------------------------------------------- discovery
 
@@ -467,16 +476,22 @@ class BlockEngine:
 
     # ------------------------------------------------------------ compilation
 
-    def compile_block(self, index: int, trace: bool) -> None:
+    def compile_block(self, index: int, variant) -> None:
         """Compile (or reject) one variant of the block at *index*.
 
-        Variants compile lazily and independently — a pure :meth:`run`
-        workload never pays for trace-variant compilation (CPython's
-        ``compile`` dominates the cost) — and code objects are shared
-        across machines through the per-program cache, so only the
-        first machine over a program pays ``compile`` at all.
+        *variant* is ``"run"``, ``"trace"``, or ``"warm"`` (legacy bools
+        map to run/trace).  Variants compile lazily and independently —
+        a pure :meth:`run` workload never pays for trace-variant
+        compilation (CPython's ``compile`` dominates the cost) — and
+        code objects are shared across machines through the per-program
+        cache, so only the first machine over a program pays ``compile``
+        at all.
         """
-        key = (index, trace)
+        if variant is True:
+            variant = "trace"
+        elif variant is False:
+            variant = "run"
+        key = (index, variant)
         if key not in self._compiled:
             t0 = time.perf_counter()
             code_cache = _program_code_cache(self.m.program)
@@ -490,7 +505,7 @@ class BlockEngine:
                 if block is None:
                     cached = None
                 else:
-                    code, insts = self._codegen(block, trace)
+                    code, insts = self._codegen(block, variant)
                     sites, words = self._batch_shape(block.items)
                     cached = (
                         len(block.items), code, insts, block.superblock, sites, words
@@ -521,10 +536,27 @@ class BlockEngine:
                     superblock=superblock,
                     seconds=seconds,
                     cache_hit=from_code_cache,
-                    variant="trace" if trace else "run",
+                    variant=variant,
                 )
-        table = self.trace_table if trace else self.run_table
-        table[index] = self._compiled[key]
+        self.tables[variant][index] = self._compiled[key]
+
+    def reset_variant(self, variant: str) -> None:
+        """Drop compiled entries of *variant* so they rebind on next use.
+
+        Needed when the bindings a variant closes over change — e.g.
+        attaching a new functional-warming sink to the machine: warm
+        bodies bind the sink's methods directly, so previously bound
+        entries would keep warming the old one.
+        """
+        table = self.tables[variant]
+        for index in list(self._compiled):
+            if index[1] == variant:
+                del self._compiled[index]
+        for idx, entry in enumerate(table):
+            if entry is not None:
+                # 1, not the profiling threshold: the leader is already
+                # known-hot, so recompile on its next execution.
+                table[idx] = 1
 
     def _batch_shape(self, items) -> tuple[int, int]:
         """Static batching shape of a block: (mem-run sites, words covered)."""
@@ -568,7 +600,7 @@ class BlockEngine:
                 break  # this load clobbers the base: last member of the run
         return count
 
-    def _codegen(self, block: _Block, trace: bool):
+    def _codegen(self, block: _Block, variant: str):
         """Emit and exec-compile one variant of *block*.
 
         The generated function loads every register that is read
@@ -576,7 +608,17 @@ class BlockEngine:
         with all constants folded in, and commits registers / PC /
         instret only at exit points (side exits and the block end) —
         the invariant the replay-on-exception fault path relies on.
+
+        The ``warm`` variant is the run variant plus functional-warming
+        hooks: every memory operand touches the data cache (``_wd`` /
+        ``_wds``), fetch-line transitions touch the I-cache (``_wi``),
+        and control transfers train the branch predictor (``_gsu`` /
+        ``_btu`` / ``_rpu`` / ``_rpo``) — so statistical-sampling
+        fast-forward spans keep the microarchitectural state a detailed
+        window adopts continuously warm, at block-compiled speed.
         """
+        trace = variant == "trace"
+        warm = variant == "warm"
         base = self.base
         size = len(self.decoded)
         items = block.items
@@ -584,6 +626,18 @@ class BlockEngine:
         defined: set = set()     # registers with a local already assigned
         commits: list = []       # written registers, in first-write order
         body: list = []
+        warm_iline = [-1]        # static fetch line of the previous item
+
+        def wd(indent: str = "    ") -> None:
+            if warm:
+                body.append(f"{indent}_wd(_ma)")
+
+        def wi(pc: int) -> None:
+            if warm:
+                iline = pc >> _ILINE_SHIFT
+                if iline != warm_iline[0]:
+                    warm_iline[0] = iline
+                    body.append(f"    _wi({pc})")
 
         def reg(rn: int) -> str:
             if rn == 0:
@@ -641,10 +695,15 @@ class BlockEngine:
             a = reg(inst.rs) if trace or mn not in _RS_UNUSED_RUN else "_unused_rs"
             b = reg(inst.rt) if trace or mn not in _RT_UNUSED_RUN else "_unused_rt"
             last = k == n - 1
+            wi(pc)
 
             run = self._mem_run(items, k)
             if run >= BATCH_MIN:
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                if warm:
+                    body.append(f"    _wds(_ma, {4 * run})")
+                    for i in range(1, run):
+                        wi(base + 4 * items[k + i][0])
                 if mn == "lw":
                     body.append(f"    _vs = _rws(_ma, {run})")
                     for i in range(run):
@@ -683,6 +742,8 @@ class BlockEngine:
                     fcc = reg(FCC)
                     cond = f"{fcc} == {1 if mn == 'bc1t' else 0}"
                 body.append(f"    _tk = {cond}")
+                if warm:
+                    body.append(f"    _gsu({pc}, _tk)")
                 if last or cont is None:
                     # terminal branch: return on both edges
                     if trace:
@@ -713,6 +774,8 @@ class BlockEngine:
                 ti = (target - base) >> 2
                 rec(pc, k, a, b, pc + 4 if mn == "jal" else 0, -1, True, target)
                 if mn == "jal":
+                    if warm:
+                        body.append(f"    _rpu({(pc + 4) & _M})")
                     wreg(31, str(pc + 4))
                 if last or cont is None:
                     exit_lines(target, k + 1, ti)
@@ -721,6 +784,14 @@ class BlockEngine:
 
             if mn in _INDIRECT:
                 body.append(f"    _npc = {a}")
+                if warm:
+                    if mn == "jalr":
+                        body.append(f"    _btu({pc}, _npc)")
+                        body.append(f"    _rpu({(pc + 4) & _M})")
+                    elif inst.rs == 31:  # return: maintain the RAS
+                        body.append("    _rpo()")
+                    else:
+                        body.append(f"    _btu({pc}, _npc)")
                 rec(pc, k, a, b, pc + 4 if mn == "jalr" else 0, -1, True, "_npc")
                 if mn == "jalr" and inst.rd:
                     wreg(inst.rd, str(pc + 4))
@@ -780,6 +851,7 @@ class BlockEngine:
                              f"((({_sgn(b)}) >> {inst.shamt}) & 4294967295)")
             elif mn in ("lw", "lb", "lbu", "lh", "lhu"):
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 if trace:
                     if mn == "lw":
                         load = "_rw(_ma)"
@@ -835,6 +907,7 @@ class BlockEngine:
                                 wreg(inst.rt, "((_t - 256) if _t & 128 else _t) & 4294967295")
             elif mn == "sw":
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 if trace:
                     body.append(f"    _ww(_ma, {b})")
                     rec(pc, k, a, b, b, "_ma", False, npc)
@@ -852,6 +925,7 @@ class BlockEngine:
                     body.append(f"        _pg[_o + 3] = ({b} >> 24) & 255")
             elif mn == "sb":
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 if trace:
                     body.append(f"    _wb(_ma, {b})")
                     rec(pc, k, a, b, f"({b} & 255)", "_ma", False, npc)
@@ -863,6 +937,7 @@ class BlockEngine:
                     body.append(f"        _pg[_ma & 4095] = {b} & 255")
             elif mn == "sh":
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 if trace:
                     body.append(f"    _wh(_ma, {b})")
                     rec(pc, k, a, b, f"({b} & 65535)", "_ma", False, npc)
@@ -878,12 +953,14 @@ class BlockEngine:
                     body.append(f"        _pg[_o + 1] = ({b} >> 8) & 255")
             elif mn == "lwc1":
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 body.append("    _v = _rw(_ma)")
                 rec(pc, k, a, b, "_v", "_ma", False, npc)
                 wreg(FP_BASE + inst.rt, "_v")
             elif mn == "swc1":
                 ft = reg(FP_BASE + inst.rt)
                 body.append(f"    _ma = (({a}) + {inst.imm}) & 4294967295")
+                wd()
                 body.append(f"    _ww(_ma, {ft})")
                 rec(pc, k, a, b, ft, "_ma", False, npc)
             elif mn in ("mult", "multu"):
@@ -990,6 +1067,7 @@ class BlockEngine:
             "R", "_pgs", "_rw", "_ww", "_rh", "_wh", "_rb", "_wb", "_rws", "_wws",
             "_TR", "_I", "_f32", "_b32", "_fsqrt", "_fcvtws",
             "_isnan", "_cs", "_nan", "_inf", "_abs", "_flt",
+            "_wd", "_wds", "_wi", "_gsu", "_btu", "_rpu", "_rpo",
         )
         lines = ["def _blk(m, " + ", ".join(f"{p}={p}" for p in params) + "):"]
         if trace:
@@ -999,7 +1077,6 @@ class BlockEngine:
         src = "\n".join(lines) + "\n"
 
         entry_pc = base + 4 * items[0][0]
-        variant = "trace" if trace else "run"
         return compile(src, f"<block:{variant}@{entry_pc:#x}>", "exec"), tuple(
             inst for _, inst, _ in items
         )
@@ -1027,6 +1104,23 @@ class BlockEngine:
             "_nan": math.nan, "_inf": math.inf,
             "_abs": abs, "_flt": float,
         }
+        sink = machine._warm_sink
+        if sink is not None:
+            hierarchy, predictor = sink
+            env.update({
+                "_wd": hierarchy.warm_data,
+                "_wds": hierarchy.warm_data_span,
+                "_wi": hierarchy.warm_instruction,
+                "_gsu": predictor.gshare.update,
+                "_btu": predictor.btb.update,
+                "_rpu": predictor.ras.push,
+                "_rpo": predictor.ras.pop,
+            })
+        else:
+            # Run/trace variants never call the warming hooks; warm
+            # variants only compile once a sink is attached, so binding
+            # None here keeps a missing hook loudly visible.
+            env.update(dict.fromkeys(("_wd", "_wds", "_wi", "_gsu", "_btu", "_rpu", "_rpo")))
         exec(code, env)
         return env["_blk"]
 

@@ -154,12 +154,35 @@ class Machine:
         self.exit_code = 0
         self.output = bytearray()
         self.instret = 0
+        self._warm_sink = None
+        self._warm_need = None
         if self._blocks:
             from repro.emulator.blocks import BlockEngine
 
             self._engine = BlockEngine(self, threshold=block_threshold)
         else:
             self._engine = None
+
+    def attach_warm_sink(self, hierarchy, predictor) -> None:
+        """Bind functional-warming targets for :meth:`run_warm`.
+
+        *hierarchy* (a :class:`~repro.memsys.hierarchy.MemoryHierarchy`)
+        and *predictor* (a
+        :class:`~repro.branch.predictor.FrontEndPredictor`) receive
+        every memory touch / fetch-line transition / control-transfer
+        outcome the guest retires during warm-mode execution.  Warm
+        blocks bind the sink's methods directly, so any previously
+        compiled warm entries are dropped for rebinding.
+        """
+        self._warm_sink = (hierarchy, predictor)
+        # Per-index flag: does warm-mode fallback need the trace record
+        # (control transfers and memory ops) or just the I-side touch?
+        self._warm_need = [
+            inst is not None and (inst.is_control or inst.is_load or inst.is_store)
+            for inst in self.decoded
+        ]
+        if self._engine is not None:
+            self._engine.reset_variant("warm")
 
     # ------------------------------------------------------------------ fetch
 
@@ -523,7 +546,7 @@ class Machine:
 
     # ------------------------------------------------------------------- run
 
-    def _loop(self, max_steps: int, watchdog, emit: bool):
+    def _loop(self, max_steps: int, watchdog, emit: bool, warm: bool = False):
         """The single interpreter loop behind :meth:`run` and :meth:`trace`.
 
         A generator that executes until halt or *max_steps*, yielding a
@@ -532,7 +555,9 @@ class Machine:
         skip record construction entirely and driving the generator
         costs one frame — which is what makes :meth:`run` the fast
         path.  The optional watchdog is polled once per instruction in
-        either mode.
+        either mode.  *warm* (blocks tier, run mode only) dispatches
+        through the functional-warming block variants — see
+        :meth:`run_warm`.
 
         When a guest profiler is active the counting twin
         (:meth:`_loop_profiled`) runs instead; this single ``None``
@@ -572,7 +597,10 @@ class Machine:
             bound = self._bound
             base = self.program.text_base
             size = len(bound)
-            table = eng.trace_table if emit else eng.run_table
+            variant = "trace" if emit else ("warm" if warm else "run")
+            table = eng.tables[variant]
+            sink_h, sink_p = self._warm_sink if warm else (None, None)
+            warm_need = self._warm_need if warm else None
             execs = 0
             insts = 0
             fallback = 0
@@ -588,7 +616,7 @@ class Machine:
                         cls = entry.__class__
                         if cls is int:
                             if entry <= 1:
-                                eng.compile_block(index, emit)
+                                eng.compile_block(index, variant)
                                 entry = table[index]
                                 cls = None if entry is None else tuple
                             else:
@@ -652,9 +680,27 @@ class Machine:
                     handler = bound[index]
                     if handler is None:
                         self.fetch(pc)  # raises the canonical IllegalInstruction
-                    record = handler(self, emit)
-                    n += 1
-                    fallback += 1
+                    if warm:
+                        # Cold-code fallback still warms: branch-dense
+                        # regions form short or cold blocks, so without
+                        # this the predictor misses most of its training
+                        # stream even when block coverage is high.  The
+                        # record is built only for control/memory ops.
+                        need = warm_need[index]
+                        record = handler(self, need)
+                        n += 1
+                        fallback += 1
+                        sink_h.warm_instruction(pc)
+                        if need:
+                            ma = record.mem_addr
+                            if ma >= 0:
+                                sink_h.warm_data(ma)
+                            if record.inst.is_control:
+                                sink_p.predict_and_train(record)
+                    else:
+                        record = handler(self, emit)
+                        n += 1
+                        fallback += 1
                     if watchdog is not None:
                         watchdog.poll(n)
                     if emit:
@@ -971,6 +1017,34 @@ class Machine:
         # emit=False: the generator never yields, so this single next()
         # drives the whole run without per-instruction suspension.
         for _ in self._loop(max_steps, watchdog, False):  # pragma: no cover
+            pass
+        return self.instret - start
+
+    def run_warm(self, max_steps: int = 10_000_000, watchdog=None) -> int:
+        """Run like :meth:`run` while functionally warming caches and
+        branch predictors; returns instructions retired.
+
+        The statistical-sampling fast-forward path (SMARTS-style
+        "functional warming"): hot code executes through warm-variant
+        compiled blocks that touch the attached
+        (:meth:`attach_warm_sink`) hierarchy on every memory operand and
+        fetch-line transition and train the predictor on every control
+        transfer, at block-compiled speed.  Cold-code fallback
+        instructions warm through their trace records — branch-dense
+        regions form short or cold blocks, so the fallback carries a
+        disproportionate share of the predictor training stream.
+        Execution under an active guest profiler does not warm;
+        sampling suspends guest profiles around warm spans for exactly
+        that reason.
+
+        Requires ``dispatch='blocks'`` and an attached warm sink.
+        """
+        if self._engine is None:
+            raise EmulatorError("run_warm requires dispatch='blocks'")
+        if self._warm_sink is None:
+            raise EmulatorError("run_warm requires attach_warm_sink() first")
+        start = self.instret
+        for _ in self._loop(max_steps, watchdog, False, warm=True):  # pragma: no cover
             pass
         return self.instret - start
 

@@ -177,6 +177,45 @@ def _parser() -> argparse.ArgumentParser:
         help="live sweep status line on stderr (done/pending/failed, "
              "cells/s, ETA, active-cell ages); sweep stdout is unchanged",
     )
+    samp = p.add_argument_group("statistical sampling (docs/performance.md)")
+    samp.add_argument(
+        "--sample", action="store_true",
+        help="run 'sweep' cells as SMARTS-style sampled simulation: "
+             "blocks-tier functional-warming fast-forward between short "
+             "detailed windows, IPC/CPI with bootstrap 95%% CIs "
+             "(-n becomes the sampled instruction horizon)",
+    )
+    samp.add_argument(
+        "--sample-window", type=int, default=None, metavar="N",
+        help="measured instructions per detailed window (default 500)",
+    )
+    samp.add_argument(
+        "--sample-warmup", type=int, default=None, metavar="N",
+        help="detailed-simulated but unmeasured prefix per window (default 200)",
+    )
+    samp.add_argument(
+        "--sample-interval", type=int, default=None, metavar="N",
+        help="systematic-sampling period in instructions (default 20000)",
+    )
+    samp.add_argument(
+        "--sample-warm", type=int, default=None, metavar="N",
+        help="extra trace-mode warming instructions per window (default 0; "
+             "the warming fast-forward usually makes this unnecessary)",
+    )
+    samp.add_argument(
+        "--ci-target", type=float, default=None, metavar="FRAC",
+        help="auto-extend each cell until the relative IPC CI half-width "
+             "reaches FRAC (e.g. 0.02; default: fixed budget, no extension)",
+    )
+    samp.add_argument(
+        "--sample-seed", type=int, default=None, metavar="SEED",
+        help="window-placement + bootstrap RNG seed (default 2003); part "
+             "of the journal cell key, so resumes replay bit-identically",
+    )
+    samp.add_argument(
+        "--sample-max-windows", type=int, default=None, metavar="N",
+        help="cap on detailed windows per cell, CI extension included (default 512)",
+    )
     obs = p.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -269,6 +308,47 @@ def main(argv: list[str] | None = None) -> int:
     if args.max_cell_retries < 0:
         print("--max-cell-retries must be >= 0", file=sys.stderr)
         return 2
+    sampling_knobs = {
+        "--sample-window": args.sample_window,
+        "--sample-warmup": args.sample_warmup,
+        "--sample-interval": args.sample_interval,
+        "--sample-warm": args.sample_warm,
+        "--ci-target": args.ci_target,
+        "--sample-seed": args.sample_seed,
+        "--sample-max-windows": args.sample_max_windows,
+    }
+    sampling_plan = None
+    if args.sample:
+        if args.experiment != "sweep":
+            print("--sample applies to the 'sweep' experiment only", file=sys.stderr)
+            return 2
+        from dataclasses import replace as _dc_replace
+
+        from repro.timing.sampling import SamplingPlan
+
+        overrides = {
+            field: value
+            for field, value in (
+                ("window", args.sample_window),
+                ("warmup", args.sample_warmup),
+                ("interval", args.sample_interval),
+                ("warm", args.sample_warm),
+                ("ci_target", args.ci_target),
+                ("seed", args.sample_seed),
+                ("max_windows", args.sample_max_windows),
+            )
+            if value is not None
+        }
+        try:
+            sampling_plan = _dc_replace(SamplingPlan(), **overrides).validate()
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    elif any(value is not None for value in sampling_knobs.values()):
+        set_flags = ", ".join(k for k, v in sampling_knobs.items() if v is not None)
+        print(f"{set_flags}: sampling knobs need --sample", file=sys.stderr)
+        return 2
+    args.sampling_plan = sampling_plan
     trace_cache.configure(
         args.trace_cache, enabled=False if args.no_trace_cache else None
     )
@@ -575,6 +655,7 @@ def _run_experiments(args, n, prof, benches, argv) -> int:
                 ),
                 keep_going=args.keep_going,
                 progress=progress,
+                sampling=args.sampling_plan,
             )
         finally:
             if progress is not None:

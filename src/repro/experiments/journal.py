@@ -113,22 +113,31 @@ def cell_key(
     skip: int | None,
     profile: str,
     image_digest: str,
+    sampling: str | None = None,
 ) -> str:
-    """Deterministic identity of one (benchmark × config × budget) cell."""
-    canonical = "|".join(
-        (
-            f"journal={JOURNAL_FORMAT}",
-            f"benchmark={benchmark}",
-            f"config={config_digest(config)}",
-            f"max_steps={max_steps}",
-            f"warmup={warmup}",
-            f"iters={'auto' if iters is None else iters}",
-            f"skip={'auto' if skip is None else skip}",
-            f"profile={profile}",
-            f"image={image_digest}",
-        )
-    )
-    return hashlib.sha256(canonical.encode()).hexdigest()
+    """Deterministic identity of one (benchmark × config × budget) cell.
+
+    *sampling* is the :meth:`~repro.timing.sampling.SamplingPlan.canonical`
+    string of a sampled cell (window/interval/seed/CI knobs all
+    included), so a sampled sweep can never resume from an exact
+    journal or from one sampled under different parameters.  ``None``
+    (exact cells) contributes nothing, keeping pre-sampling keys
+    stable.
+    """
+    parts = [
+        f"journal={JOURNAL_FORMAT}",
+        f"benchmark={benchmark}",
+        f"config={config_digest(config)}",
+        f"max_steps={max_steps}",
+        f"warmup={warmup}",
+        f"iters={'auto' if iters is None else iters}",
+        f"skip={'auto' if skip is None else skip}",
+        f"profile={profile}",
+        f"image={image_digest}",
+    ]
+    if sampling is not None:
+        parts.append(f"sampling={sampling}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
 @dataclass

@@ -140,7 +140,14 @@ def _metric_map(payload: dict) -> dict[str, float]:
             for k, v in nums:
                 metrics["|".join(ident + [k])] = float(v)
         else:
-            *ident, value = row
+            cells = list(row)
+            # Sampled sweep rows pad missing error bars with "" — strip
+            # trailing blanks so the metric is never silently dropped.
+            while cells and cells[-1] == "":
+                cells.pop()
+            if not cells:
+                continue
+            *ident, value = cells
             if isinstance(value, (int, float)):
                 metrics["|".join(str(i) for i in ident)] = float(value)
     return metrics

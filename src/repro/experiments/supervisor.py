@@ -774,12 +774,32 @@ def _execute_cell(payload) -> tuple[SimStats, object]:
     the inner retry the supervisor's outer backoff retry composes
     with); the degradation record, if any, rides back so the parent can
     register the reduced budget and report the cell as degraded.
+
+    An eighth payload element (a
+    :class:`~repro.timing.sampling.SamplingPlan`) switches the cell to
+    statistical sampling: the plan's deterministic schedule replaces
+    the trace-collect/simulate pipeline, ``max_steps`` becomes the
+    sampled instruction horizon, and the returned stats carry the
+    ``sampling.*`` error-bar fields in ``extra``.
     """
     from repro.experiments import runner
     from repro.timing.simulator import simulate
 
-    name, config, max_steps, warmup, iters, skip, profile = payload
+    name, config, max_steps, warmup, iters, skip, profile, *rest = payload
+    plan = rest[0] if rest else None
     tracer = tracing.active_tracer()
+    if plan is not None:
+        from repro.harness.watchdog import Watchdog
+        from repro.timing.sampling import sample_benchmark
+
+        wall = runner.wall_timeout()
+        watchdog = Watchdog(max_seconds=wall, label=f"sample[{name}]") if wall else None
+        with _tspan(tracer, f"sample.{name}/{config.name}", category="simulate"):
+            result = sample_benchmark(
+                name, config, plan, budget=max_steps,
+                iters=iters, skip=skip, profile=profile, watchdog=watchdog,
+            )
+        return result.stats, None
     with _tspan(tracer, f"collect.{name}", category="collect"):
         trace, record = runner.collect_trace_resilient(
             name, max_steps + warmup, iters=iters, skip=skip, profile=profile
@@ -841,6 +861,7 @@ def run_sweep(
     fault_plan: ProcessFaultPlan | None = None,
     keep_going: bool = False,
     progress=None,
+    sampling=None,
 ):
     """Run a (benchmark × config) grid under supervision, journaled.
 
@@ -856,6 +877,14 @@ def run_sweep(
     fresh retry budget.  Merged results are bit-identical to an
     uninterrupted run because every cell is a pure function and
     :meth:`SimStats.merge` is commutative.
+
+    *sampling* (a :class:`~repro.timing.sampling.SamplingPlan`) runs
+    every cell in statistical-sampling mode: ``max_steps`` becomes the
+    sampled horizon, results carry bootstrap error bars, and the plan's
+    canonical string joins the cell keys — a sampled journal can never
+    be resumed as an exact one (or under different sampling knobs), and
+    the whole sweep replays bit-identically under ``--resume`` and any
+    ``--jobs N``.
 
     When a tracer is active (``--trace-spans``) the whole lifecycle is
     spanned: a ``sweep.run`` root, journal load/replay, one completed
@@ -908,15 +937,16 @@ def run_sweep(
                               error=type(exc).__name__, message=str(exc))
             )
             report.cells_total -= len(configs)
+    sampling_id = sampling.canonical() if sampling is not None else None
     cells: list[CellRecord] = []
     specs: dict[str, tuple] = {}
     labels: dict[str, str] = {}
     for name in ok_names:
         for config in configs:
             key = cell_key(name, config, max_steps, warmup, iters, skip, profile,
-                           images[name])
+                           images[name], sampling=sampling_id)
             cells.append(CellRecord(benchmark=name, config=config.name, key=key))
-            specs[key] = (name, config, max_steps, warmup, iters, skip, profile)
+            specs[key] = (name, config, max_steps, warmup, iters, skip, profile, sampling)
             labels[key] = f"{name}/{config.name}"
 
     if journal_path is not None:
@@ -938,6 +968,7 @@ def run_sweep(
                         "skip": skip,
                         "profile": profile,
                         "images": images,
+                        "sampling": sampling_id,
                     },
                     cells=cells,
                 )

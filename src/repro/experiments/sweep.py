@@ -66,7 +66,28 @@ class SweepResult:
     degraded: list[FailureRecord] = field(default_factory=list)
     report: SupervisorReport | None = None
 
+    @property
+    def sampled(self) -> bool:
+        """True when any cell carries sampling error bars."""
+        from repro.timing.sampling import stats_error_bars
+
+        return any(
+            stats_error_bars(stats) is not None
+            for per in self.grid.values()
+            for stats in per.values()
+        )
+
     def rows(self):
+        """Table rows; sampled grids grow ``ipc_lo``/``ipc_hi`` columns.
+
+        Exact grids keep the historical five-column shape byte-for-byte
+        — the CI columns appear only when a cell actually carries error
+        bars, so disabled-mode output (and the chaos harness's
+        byte-identity invariant over it) is untouched.
+        """
+        from repro.timing.sampling import stats_error_bars
+
+        sampled = self.sampled
         out = []
         for name in self.benchmarks:
             per = self.grid.get(name, {})
@@ -74,13 +95,23 @@ class SweepResult:
                 stats = per.get(config)
                 if stats is None:
                     continue
-                out.append((name, config, stats.instructions, stats.cycles,
-                            round(stats.ipc, 4)))
+                row = (name, config, stats.instructions, stats.cycles,
+                       round(stats.ipc, 4))
+                if sampled:
+                    bars = stats_error_bars(stats)
+                    if bars is None:
+                        row += ("", "")
+                    else:
+                        row += (round(bars[0], 4), round(bars[1], 4))
+                out.append(row)
         return out
 
     def render(self) -> str:
+        headers = ("benchmark", "config", "instructions", "cycles", "ipc")
+        if self.sampled:
+            headers += ("ipc_lo", "ipc_hi")
         return render_table(
-            ("benchmark", "config", "instructions", "cycles", "ipc"),
+            headers,
             self.rows(),
             title="Supervised sweep (benchmark x config)",
         )
@@ -98,6 +129,7 @@ def run(
     policy: SupervisorPolicy | None = None,
     keep_going: bool = False,
     progress=None,
+    sampling=None,
 ) -> SweepResult:
     """Run the supervised sweep experiment.
 
@@ -105,6 +137,10 @@ def run(
     :class:`~repro.experiments.progress.SweepProgress` (the CLI's
     ``--live``); it renders to stderr, so the deterministic stdout
     table — the chaos harness's byte-identity invariant — is untouched.
+
+    *sampling* (a :class:`~repro.timing.sampling.SamplingPlan`) switches
+    every cell to statistical sampling — ``max_steps`` becomes the
+    sampled horizon and the rendered table grows 95% CI columns.
     """
     config_names = list(config_names)
     configs = parse_configs(config_names)
@@ -120,6 +156,7 @@ def run(
         policy=policy,
         keep_going=keep_going,
         progress=progress,
+        sampling=sampling,
     )
     return SweepResult(
         benchmarks=list(benchmarks),

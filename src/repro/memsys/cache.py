@@ -75,6 +75,14 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        # Geometry is immutable; precompute the address-split constants
+        # once — the dataclass properties recompute bit widths on every
+        # call, and access() sits on the hot path of both the timing
+        # model and the sampling fast-forward.
+        self._off = config.offset_bits
+        self._mask = config.num_sets - 1
+        self._tshift = config.tag_shift
+        self._assoc = config.assoc
         self.hits = 0
         self.misses = 0
 
@@ -84,30 +92,36 @@ class SetAssociativeCache:
 
     def probe(self, addr: int) -> bool:
         """Non-destructive lookup: True when *addr* hits."""
-        index, tag = self.config.split(addr)
-        return tag in self._sets[index]
+        return addr >> self._tshift in self._sets[(addr >> self._off) & self._mask]
 
     def access(self, addr: int) -> bool:
         """Reference *addr*: returns hit/miss and updates LRU + contents.
 
         A miss allocates the line, evicting the LRU way when the set is
         full (write-allocate; since only tags are modeled, loads and
-        stores are handled identically).
+        stores are handled identically).  The MRU way is checked before
+        the general scan — most references hit it, and the scan plus
+        reorder cost only matters off that fast path.
         """
-        index, tag = self.config.split(addr)
-        ways = self._sets[index]
-        try:
-            pos = ways.index(tag)
-        except ValueError:
-            self.misses += 1
-            if len(ways) >= self.config.assoc:
-                ways.pop()
-            ways.insert(0, tag)
-            return False
-        if pos:
-            ways.insert(0, ways.pop(pos))
-        self.hits += 1
-        return True
+        ways = self._sets[(addr >> self._off) & self._mask]
+        tag = addr >> self._tshift
+        if ways:
+            if ways[0] == tag:
+                self.hits += 1
+                return True
+            try:
+                pos = ways.index(tag, 1)
+            except ValueError:
+                pass
+            else:
+                ways.insert(0, ways.pop(pos))
+                self.hits += 1
+                return True
+        self.misses += 1
+        if len(ways) >= self._assoc:
+            ways.pop()
+        ways.insert(0, tag)
+        return False
 
     def set_tags(self, addr: int) -> list[int]:
         """Tags resident in the set *addr* maps to, MRU-first (a copy)."""

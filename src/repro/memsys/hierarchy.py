@@ -49,6 +49,9 @@ class MemoryHierarchy:
         self.l1_latency = l1_latency
         self.l2_latency = l2_latency
         self.memory_latency = memory_latency
+        self._warm_iline = -1
+        self._d_line = self.l1d.config.line_size
+        self._i_off = self.l1i.config.offset_bits
 
     def _access(self, l1: SetAssociativeCache, addr: int) -> AccessResult:
         if l1.access(addr):
@@ -64,6 +67,47 @@ class MemoryHierarchy:
     def access_data(self, addr: int) -> AccessResult:
         """Load/store through L1D → L2 → memory."""
         return self._access(self.l1d, addr)
+
+    # Functional-warming entry points: same replacement-state effects as
+    # the access_* methods, but no AccessResult construction — these sit
+    # in the statistical-sampling fast-forward hot loop, where latency
+    # is never consumed and object allocation would dominate the cost.
+
+    def warm_data(self, addr: int) -> None:
+        """Touch *addr* through L1D → L2 without reporting a latency."""
+        if not self.l1d.access(addr):
+            self.l2.access(addr)
+
+    def warm_data_span(self, addr: int, length: int) -> None:
+        """Touch every line of ``[addr, addr + length)`` through L1D → L2.
+
+        Batched word runs access line-by-line: consecutive same-line
+        accesses only re-promote an already-MRU line, so the per-line
+        walk leaves content and replacement order identical to the
+        per-word access stream the detailed model sees.
+        """
+        line = self._d_line
+        a = addr - (addr & (line - 1))
+        end = addr + length
+        while a < end:
+            if not self.l1d.access(a):
+                self.l2.access(a)
+            a += line
+
+    def warm_instruction(self, addr: int) -> None:
+        """Touch the I-side line of *addr*, deduplicating repeats.
+
+        The fetch model accesses the L1I once per fetch-line
+        *transition*, not per instruction; tracking the last warmed
+        line here reproduces that stream across compiled-block
+        boundaries.
+        """
+        line = addr >> self._i_off
+        if line == self._warm_iline:
+            return
+        self._warm_iline = line
+        if not self.l1i.access(addr):
+            self.l2.access(addr)
 
     def reset_stats(self) -> None:
         for cache in (self.l1i, self.l1d, self.l2):

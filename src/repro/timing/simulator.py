@@ -182,6 +182,27 @@ class TimingSimulator:
         self._store_agen: tuple[int, ...] = ()
         self._store_data = 0
 
+    def adopt_warm_state(self, predictor: FrontEndPredictor, hierarchy: MemoryHierarchy) -> None:
+        """Adopt functionally-warmed front-end and memory state.
+
+        Statistical sampling (:mod:`repro.timing.sampling`) trains
+        branch predictors and caches during fast-forward spans; each
+        measurement window then runs on a fresh simulator that adopts
+        the shared warmed structures instead of starting cold.  Must be
+        called before the first simulated instruction — the fast path
+        binds ``predictor``/``hierarchy`` methods into closures lazily
+        at run time, so a pre-run swap is safe in both timing modes.
+        The geometry-derived fields are recomputed from the adopted
+        hierarchy (identical values for same-config instances).
+        """
+        if self.seq:
+            raise RuntimeError("adopt_warm_state must precede the first simulated instruction")
+        self.predictor = predictor
+        self.hierarchy = hierarchy
+        self.line_shift = hierarchy.l1i.config.offset_bits
+        tag_shift = hierarchy.l1d.config.tag_shift
+        self.index_ready_slice = (tag_shift + self.slice_bits - 1) // self.slice_bits - 1
+
     @property
     def timeline(self):
         """Per-instruction pipeline timestamps, reconstructed from the

@@ -115,6 +115,22 @@ class Workload:
         """
         return _skip_hint_cached(self.name, "ref")
 
+    def iters_for_budget(self, budget: int, profile: str = "ref") -> int:
+        """Iteration count scaled so the guest outlives *budget*.
+
+        Long-horizon variant knob for the statistical-sampling gate
+        set: returns an iteration count at which the workload retires
+        at least ``init + budget`` dynamic instructions before halting,
+        estimated from the same two calibration runs that back
+        :attr:`skip_hint` (T(i) = init + i*per_iteration).  One extra
+        iteration of margin absorbs calibration rounding, so a sampled
+        run over *budget* post-skip instructions never falls off the
+        end of the guest.
+        """
+        init, per_iter = _iter_costs_cached(self.name, profile)
+        need = -(-budget // per_iter) + 1  # ceil + margin
+        return max(self.default_iters, need)
+
     def trace(
         self,
         max_steps: int,
@@ -156,7 +172,13 @@ def _build_cached(name: str, iters: int, profile: str = "ref") -> Program:
 
 
 @lru_cache(maxsize=None)
-def _skip_hint_cached(name: str, profile: str = "ref") -> int:
+def _iter_costs_cached(name: str, profile: str = "ref") -> tuple[int, int]:
+    """Calibrated ``(init, per_iteration)`` dynamic instruction costs.
+
+    Two short runs fit T(i) = init + i*per_iteration; both the skip
+    hint (init) and the long-horizon budget scaling (per_iteration)
+    derive from this one cached fit.
+    """
     from repro.emulator.machine import Machine
     from repro.obs.guestprof import suspended_guest_profile
 
@@ -169,7 +191,17 @@ def _skip_hint_cached(name: str, profile: str = "ref") -> int:
             machine.run(20_000_000)
             lengths.append(machine.instret)
     init = max(0, 2 * lengths[0] - lengths[1])
-    return init
+    per_iter = max(1, lengths[1] - lengths[0])
+    return init, per_iter
+
+
+def _skip_hint_cached(name: str, profile: str = "ref") -> int:
+    return _iter_costs_cached(name, profile)[0]
+
+
+def skip_hint(name: str, profile: str = "ref") -> int:
+    """Public skip-hint lookup (initialization instructions to skip)."""
+    return _iter_costs_cached(name, profile)[0]
 
 
 @lru_cache(maxsize=None)
